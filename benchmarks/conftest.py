@@ -1,0 +1,32 @@
+"""Shared fixtures of the benchmark harness.
+
+The benches regenerate every table and figure of the paper.  The Monte-Carlo
+contention characterisation and the energy model are built once per session
+(they are inputs to the benchmarks, not the thing being measured).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contention.monte_carlo import ContentionSimulator
+from repro.contention.tables import build_contention_table
+from repro.core.energy_model import EnergyModel
+
+
+@pytest.fixture(scope="session")
+def bench_contention_table():
+    """Full-size contention characterisation used by the figure benches."""
+    simulator = ContentionSimulator(num_nodes=100, seed=2005)
+    return build_contention_table(
+        loads=[0.05, 0.1, 0.2, 0.3, 0.42, 0.5, 0.6, 0.75, 0.9],
+        packet_sizes=[20, 33, 63, 93, 113, 133],
+        simulator=simulator,
+        num_windows=20,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_contention_table):
+    """Energy model with the paper's defaults, driven by the session table."""
+    return EnergyModel(contention_source=bench_contention_table)

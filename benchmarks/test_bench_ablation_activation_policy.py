@@ -1,0 +1,48 @@
+"""Ablation bench — radio activation policy.
+
+DESIGN.md ablation 2: quantify the value of the paper's energy-aware
+activation policy against two naive alternatives:
+
+* ``always idle`` — the node never enters shutdown between superframes;
+* ``RX until beacon`` — the node keeps the receiver on from wake-up to the
+  beacon instead of idling.
+
+The paper's central premise (idle alone is 7x the 100 µW scavenging budget)
+implies the always-idle policy must be several times worse.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.core.activation_policy import ActivationPolicy
+from repro.core.case_study import CaseStudy
+from repro.core.energy_model import EnergyModel
+
+
+def test_bench_ablation_activation_policy(benchmark, bench_model):
+    def run_variants():
+        results = {}
+        policies = {
+            "paper policy": ActivationPolicy.paper(),
+            "always idle": ActivationPolicy.always_idle(),
+            "rx until beacon": ActivationPolicy.rx_until_beacon(),
+        }
+        for name, policy in policies.items():
+            model = EnergyModel(
+                config=replace(bench_model.config, policy=policy),
+                contention_source=bench_model.contention_source)
+            results[name] = CaseStudy(model=model,
+                                      path_loss_resolution=31).run()
+        return results
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    paper_power = results["paper policy"].average_power_w
+    print()
+    print(format_table(
+        ["policy", "average power [uW]", "vs paper policy"],
+        [[name, result.average_power_w * 1e6,
+          result.average_power_w / paper_power]
+         for name, result in results.items()],
+        title="Ablation: radio activation policy"))
+    assert results["always idle"].average_power_w > 3 * paper_power
+    assert results["rx until beacon"].average_power_w > paper_power

@@ -1,0 +1,64 @@
+"""Ablation bench — battery-life-extension mode in dense conditions.
+
+DESIGN.md ablation 4: the paper argues the battery-life-extension mode
+(backoff exponent capped at 2) "would result in an excessive collision rate"
+in dense networks and therefore avoids it.  This bench quantifies the
+degradation of the contention statistics and of the end-to-end failure
+probability when BLE is enabled at the case-study load.
+"""
+
+from repro.analysis.tables import format_table
+from repro.contention.monte_carlo import ContentionSimulator
+from repro.core.energy_model import EnergyModel, ModelConfig
+from repro.mac.csma import CsmaParameters
+
+
+def test_bench_ablation_battery_life_extension(benchmark, bench_model):
+    def run_both():
+        loads = [0.42, 0.6, 0.8]
+        rows = []
+        for load in loads:
+            normal = ContentionSimulator(
+                num_nodes=100, seed=2005,
+                csma_params=CsmaParameters()).characterize(load, 133, 12)
+            ble = ContentionSimulator(
+                num_nodes=100, seed=2005,
+                csma_params=CsmaParameters(battery_life_extension=True)) \
+                .characterize(load, 133, 12)
+            rows.append((load, normal, ble))
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["load", "Pr_cf normal", "Pr_cf BLE", "Pr_col normal", "Pr_col BLE",
+         "T_cont normal [ms]", "T_cont BLE [ms]"],
+        [[load,
+          normal.channel_access_failure_probability,
+          ble.channel_access_failure_probability,
+          normal.collision_probability,
+          ble.collision_probability,
+          normal.mean_contention_time_s * 1e3,
+          ble.mean_contention_time_s * 1e3]
+         for load, normal, ble in rows],
+        title="Ablation: battery-life-extension mode under dense load"))
+
+    # End-to-end effect at the case-study point.
+    load, normal, ble = rows[0]
+    budget_normal = bench_model.evaluate(
+        payload_bytes=120, tx_power_dbm=0.0, path_loss_db=75.0,
+        load=load, contention=normal)
+    budget_ble = bench_model.evaluate(
+        payload_bytes=120, tx_power_dbm=0.0, path_loss_db=75.0,
+        load=load, contention=ble)
+    print()
+    print(format_table(
+        ["variant", "failure probability", "average power [uW]"],
+        [["normal CSMA/CA", budget_normal.transaction_failure_probability,
+          budget_normal.average_power_w * 1e6],
+         ["battery-life extension", budget_ble.transaction_failure_probability,
+          budget_ble.average_power_w * 1e6]],
+        title="End-to-end effect at the case-study operating point"))
+    # The paper's argument: BLE degrades reliability in dense conditions.
+    assert budget_ble.transaction_failure_probability > \
+        budget_normal.transaction_failure_probability

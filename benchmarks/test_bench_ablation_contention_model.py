@@ -1,0 +1,51 @@
+"""Ablation bench — Monte-Carlo vs closed-form contention statistics.
+
+DESIGN.md ablation 1: how much does the case-study prediction change when
+the empirically characterised contention statistics (the paper's approach)
+are replaced by the closed-form approximation?
+"""
+
+from repro.analysis.tables import format_table
+from repro.contention.analytical import ClosedFormContentionModel
+from repro.core.case_study import CaseStudy
+from repro.core.energy_model import EnergyModel
+
+
+def test_bench_ablation_contention_source(benchmark, bench_model,
+                                           bench_contention_table):
+    def run_both():
+        monte_carlo = CaseStudy(model=bench_model,
+                                path_loss_resolution=41).run()
+        closed_form_model = EnergyModel(
+            config=bench_model.config,
+            contention_source=ClosedFormContentionModel())
+        closed_form = CaseStudy(model=closed_form_model,
+                                path_loss_resolution=41).run()
+        return monte_carlo, closed_form
+
+    monte_carlo, closed_form = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table_stats = bench_contention_table.lookup(0.42, 133)
+    analytic_stats = ClosedFormContentionModel().evaluate(0.42, 133)
+    print()
+    print(format_table(
+        ["quantity", "Monte-Carlo", "closed form"],
+        [
+            ["T_cont at case-study point [ms]",
+             table_stats.mean_contention_time_s * 1e3,
+             analytic_stats.mean_contention_time_s * 1e3],
+            ["N_CCA", table_stats.mean_cca_count, analytic_stats.mean_cca_count],
+            ["Pr_col", table_stats.collision_probability,
+             analytic_stats.collision_probability],
+            ["Pr_cf", table_stats.channel_access_failure_probability,
+             analytic_stats.channel_access_failure_probability],
+            ["case-study average power [uW]",
+             monte_carlo.average_power_w * 1e6, closed_form.average_power_w * 1e6],
+            ["case-study failure probability",
+             monte_carlo.mean_failure_probability,
+             closed_form.mean_failure_probability],
+        ],
+        title="Ablation: contention-statistics source"))
+    # The headline power must be robust to the contention-statistics source
+    # (both land in the same ~200 uW regime).
+    ratio = closed_form.average_power_w / monte_carlo.average_power_w
+    assert 0.7 < ratio < 1.3

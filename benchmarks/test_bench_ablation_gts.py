@@ -1,0 +1,23 @@
+"""Ablation bench — guaranteed time slots vs contention access.
+
+Quantifies the paper's Section 2 argument for using the contention access
+period in dense networks: a GTS node is cheaper per node (no contention
+overhead) and more reliable, but the superframe offers at most seven GTS
+descriptors, so only a tiny fraction of the 100 nodes per channel could ever
+be served contention-free.
+"""
+
+from repro.core.gts_comparison import GtsVersusContention
+
+
+def test_bench_ablation_gts_vs_contention(benchmark, bench_model):
+    comparison = GtsVersusContention(bench_model, nodes_per_channel=100)
+    result = benchmark.pedantic(comparison.compare, rounds=1, iterations=1)
+    print()
+    print(comparison.to_table(result))
+    print(f"\nPer-node saving a GTS would offer: {result.per_node_saving:.1%} "
+          f"— but only {result.gts_capacity_nodes} of "
+          f"{result.contention_capacity_nodes} nodes per channel could hold one.")
+    assert result.gts_power_w < result.contention_power_w
+    assert result.gts_capacity_nodes < result.contention_capacity_nodes
+    assert not result.gts_serves_dense_network

@@ -1,0 +1,23 @@
+"""EXP-CS bench — Section 5 case study: 211 µW / 1.45 s / 16 %.
+
+Regenerates the headline numbers of the dense-network case study (1600
+nodes, 16 channels, 1 byte / 8 ms buffered into 120-byte packets, BO = 6,
+path loss U(55, 95) dB with channel-inversion link adaptation), with and
+without link adaptation.
+"""
+
+from repro.experiments.case_study import run_case_study
+
+
+def test_bench_case_study_headline_numbers(benchmark, bench_model):
+    result = benchmark.pedantic(
+        lambda: run_case_study(model=bench_model, path_loss_resolution=81),
+        rounds=1, iterations=1)
+    print()
+    print(result.summary_table)
+    print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance
+    # Who wins and by roughly what factor: adaptation beats fixed 0 dBm.
+    assert result.with_adaptation.average_power_w < \
+        result.without_adaptation.average_power_w

@@ -1,0 +1,20 @@
+"""EXP-F3 bench — Figure 3: CC2420 radio characterisation tables.
+
+Regenerates the state-power / transition / TX-level tables from the encoded
+measurement profile and checks every number against the paper.
+"""
+
+from repro.experiments.fig3_radio import run_fig3_radio_characterization
+
+
+def test_bench_fig3_radio_characterization(benchmark):
+    result = benchmark(run_fig3_radio_characterization)
+    print()
+    print(result.state_table)
+    print()
+    print(result.transition_table)
+    print()
+    print(result.tx_level_table)
+    print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance

@@ -1,0 +1,21 @@
+"""EXP-F4 bench — Figure 4: BER vs received power and the equation (1) fit.
+
+Regenerates the measured BER curve (paper regression), the analytic
+O-QPSK/DSSS prediction and the synthetic wired-bench Monte-Carlo estimate
+over the paper's -94..-85 dBm range, then re-fits the exponential regression.
+"""
+
+from repro.experiments.fig4_ber import run_fig4_ber
+
+
+def test_bench_fig4_ber_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4_ber(bench_bits_per_point=60_000, seed=2005),
+        rounds=1, iterations=1)
+    print()
+    print(result.curves.to_table(float_format=".3e"))
+    print()
+    print(result.report.to_table(float_format=".4g"))
+    print(f"\nRe-fitted regression: BER = {result.fitted_coefficient:.3e} "
+          f"* exp(-{result.fitted_exponent:.3f} * P_Rx)")
+    assert result.report.all_within_tolerance

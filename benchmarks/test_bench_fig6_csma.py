@@ -1,0 +1,27 @@
+"""EXP-F6 bench — Figure 6: slotted CSMA/CA behaviour vs load and packet size.
+
+Regenerates the four panels (contention time, CCA count, collision
+probability, channel access failure probability) for payloads of 10, 20, 50
+and 100 bytes over a grid of network loads, using the 100-node Monte-Carlo
+contention simulator.
+"""
+
+from repro.experiments.fig6_csma import run_fig6_csma
+
+
+def test_bench_fig6_csma_behaviour(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6_csma(loads=[0.1, 0.2, 0.3, 0.42, 0.6, 0.8],
+                              num_windows=15, num_nodes=100, seed=2005),
+        rounds=1, iterations=1)
+    print()
+    for collection in (result.contention_time, result.cca_count,
+                       result.collision_probability,
+                       result.access_failure_probability):
+        print(collection.to_table(float_format=".4g"))
+        print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance
+    # Structural check printed curves rely on: degradation with load.
+    for series in result.access_failure_probability.series:
+        assert series.y[-1] >= series.y[0]

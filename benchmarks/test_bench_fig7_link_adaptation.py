@@ -1,0 +1,32 @@
+"""EXP-F7 bench — Figure 7: optimal energy per bit vs path loss.
+
+Regenerates the energy-per-bit curves for several network loads with the
+energy-optimal transmit power at each path loss, plus the switching
+thresholds (the circles of Figure 7), and checks the paper's observations:
+load-independent thresholds, efficiency up to ~88 dB, ~40 % saving.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig7_link import run_fig7_link_adaptation
+
+
+def test_bench_fig7_link_adaptation(benchmark, bench_model):
+    result = benchmark.pedantic(
+        lambda: run_fig7_link_adaptation(
+            model=bench_model, loads=(0.2, 0.42, 0.6),
+            path_loss_grid_db=np.arange(45.0, 95.5, 1.0)),
+        rounds=1, iterations=1)
+    print()
+    print(result.curves.to_table(float_format=".4g"))
+    print()
+    for load, thresholds in result.thresholds_by_load.items():
+        print(format_table(
+            ["threshold [dB]", "from [dBm]", "to [dBm]"],
+            [[t.path_loss_db, t.lower_level_dbm, t.upper_level_dbm]
+             for t in thresholds],
+            title=f"Switching thresholds at load {load:g}"))
+        print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance

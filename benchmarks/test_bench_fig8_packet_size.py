@@ -1,0 +1,23 @@
+"""EXP-F8 bench — Figure 8: energy per bit vs packet payload size.
+
+Regenerates the energy-per-bit-vs-payload curves at several loads and checks
+the paper's finding that the energy per bit decreases monotonically up to
+the largest payload the standard allows.
+"""
+
+from repro.experiments.fig8_packet import run_fig8_packet_size
+
+
+def test_bench_fig8_packet_size(benchmark, bench_model):
+    result = benchmark.pedantic(
+        lambda: run_fig8_packet_size(
+            model=bench_model, loads=(0.2, 0.42, 0.6),
+            payload_sizes=[5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 123]),
+        rounds=1, iterations=1)
+    print()
+    print(result.curves.to_table(float_format=".4g"))
+    print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance
+    for sweep in result.sweeps.values():
+        assert sweep.optimal_payload_bytes >= 120

@@ -1,0 +1,21 @@
+"""EXP-F9 bench — Figure 9: energy-per-phase and time-per-state breakdowns.
+
+Regenerates both pie charts of Figure 9 as tables for the case-study
+scenario and checks them against the paper's shares (beacon ~20 %,
+contention ~25 %, transmit < 50 %, ACK ~15 %; shutdown 98.77 % of the time).
+"""
+
+from repro.experiments.fig9_breakdown import run_fig9_breakdown
+
+
+def test_bench_fig9_breakdown(benchmark, bench_model):
+    result = benchmark.pedantic(
+        lambda: run_fig9_breakdown(model=bench_model, path_loss_resolution=61),
+        rounds=1, iterations=1)
+    print()
+    print(result.energy_table)
+    print()
+    print(result.time_table)
+    print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance

@@ -1,0 +1,23 @@
+"""EXP-IMP bench — improvement perspectives (Section 5/6).
+
+Regenerates the paper's two improvement estimates on the case-study
+scenario: halving state-transition times (paper: −12 %) and a scalable
+receiver with a low-power mode for CCA and acknowledgement waiting
+(paper: −15 %), plus the combination.
+"""
+
+from repro.experiments.improvements import run_improvements
+
+
+def test_bench_improvement_perspectives(benchmark, bench_model):
+    result = benchmark.pedantic(
+        lambda: run_improvements(model=bench_model, path_loss_resolution=41),
+        rounds=1, iterations=1)
+    print()
+    print(result.table)
+    print()
+    print(result.report.to_table())
+    assert result.report.all_within_tolerance
+    savings = {r.name: r.relative_saving for r in result.results}
+    assert savings["transitions x0.5"] > 0.05
+    assert savings["scalable receiver x0.5"] > 0.07

@@ -1,0 +1,38 @@
+"""EXP-VAL bench — analytical model vs packet-level MAC simulation.
+
+Cross-validates the Section 4 analytical model against the from-scratch
+packet-level simulation of the beacon-enabled MAC on scaled-down channels
+with the same offered load.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.validation import run_model_vs_simulation
+
+
+def test_bench_model_vs_simulation(benchmark, bench_model):
+    def run_all():
+        return [
+            run_model_vs_simulation(model=bench_model, num_nodes=8,
+                                    beacon_order=3, superframes=8, seed=11),
+            run_model_vs_simulation(model=bench_model, num_nodes=12,
+                                    beacon_order=3, superframes=8, seed=7),
+            run_model_vs_simulation(model=bench_model, num_nodes=20,
+                                    beacon_order=4, superframes=6, seed=3),
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    rows = []
+    for result in results:
+        print(result.table)
+        print()
+        rows.append([
+            result.simulation.node_count,
+            result.model_power_w * 1e6,
+            result.simulation.mean_node_power_w * 1e6,
+            abs(result.simulation.mean_node_power_w / result.model_power_w - 1.0),
+        ])
+        assert result.report.all_within_tolerance
+    print(format_table(
+        ["nodes", "model [uW]", "simulation [uW]", "relative gap"],
+        rows, title="Model vs simulation summary"))

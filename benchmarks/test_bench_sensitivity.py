@@ -1,0 +1,25 @@
+"""Sensitivity bench — which model parameters move the 211 µW figure.
+
+Not a figure of the paper, but the quantitative backing of its improvement
+discussion: the parameters with the largest swings must be the transceiver
+overheads the paper proposes to attack (state transitions, receive power
+during CCA / ACK wait) and the protocol parameters it optimises (packet
+size, transmit power), while second-order details (wake-up lead time)
+must be negligible.
+"""
+
+from repro.core.sensitivity import SensitivityAnalysis
+
+
+def test_bench_sensitivity_tornado(benchmark, bench_model):
+    analysis = SensitivityAnalysis(bench_model)
+    entries = benchmark.pedantic(analysis.run, rounds=1, iterations=1)
+    print()
+    print(analysis.to_table(entries))
+    by_name = {entry.parameter: entry for entry in entries}
+    # The levers the paper identifies are indeed the big ones...
+    assert by_name["state transition times"].magnitude > 0.10
+    assert by_name["payload size"].magnitude > 0.05
+    assert by_name["CCA/ACK receive power"].magnitude > 0.05
+    # ... and the scheduling detail is not.
+    assert by_name["wake-up lead time"].magnitude < 0.05

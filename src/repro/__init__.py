@@ -1,0 +1,51 @@
+"""repro — reproduction of "Energy Efficiency of the IEEE 802.15.4 Standard
+in Dense Wireless Microsensor Networks: Modeling and Improvement
+Perspectives" (Bougard, Daly, Dehaene, Catthoor, Chandrakasan — DATE 2005).
+
+The library is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (substrate);
+* :mod:`repro.phy` — IEEE 802.15.4 2450 MHz physical layer model;
+* :mod:`repro.radio` — CC2420 transceiver model (states, power, transitions);
+* :mod:`repro.channel` — path loss, AWGN links, fading, wired test bench;
+* :mod:`repro.mac` — beacon-enabled MAC: superframes, slotted CSMA/CA, GTS,
+  acknowledgements, indirect transmission, device/coordinator entities;
+* :mod:`repro.contention` — Monte-Carlo characterisation of the contention
+  procedure (T_cont, N_CCA, Pr_col, Pr_cf);
+* :mod:`repro.network` — topology, traffic, channel allocation, scenarios;
+* :mod:`repro.core` — the paper's analytical energy/reliability model,
+  link adaptation, packet-size optimisation, breakdowns, improvements and
+  the dense-network case study;
+* :mod:`repro.analysis` — tables, series, sweeps and reports;
+* :mod:`repro.experiments` — one driver per figure/table of the paper.
+
+Quick start
+-----------
+
+>>> from repro.core import EnergyModel, CaseStudy
+>>> model = EnergyModel()                      # CC2420 + paper's policy
+>>> result = CaseStudy(model=model).run()      # Section 5 scenario
+>>> round(result.average_power_w * 1e6)        # ~211 uW in the paper
+217
+"""
+
+from repro.core.case_study import CaseStudy, CaseStudyParameters, CaseStudyResult
+from repro.core.energy_model import EnergyModel, ModelConfig, NodeEnergyBudget
+from repro.core.link_adaptation import ChannelInversionPolicy
+from repro.radio.power_profile import CC2420_PROFILE
+from repro.radio.states import RadioState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyModel",
+    "ModelConfig",
+    "NodeEnergyBudget",
+    "CaseStudy",
+    "CaseStudyParameters",
+    "CaseStudyResult",
+    "ChannelInversionPolicy",
+    "CC2420_PROFILE",
+    "RadioState",
+    "__version__",
+]

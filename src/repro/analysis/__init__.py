@@ -1,0 +1,27 @@
+"""Analysis and reporting utilities.
+
+Plot-free (terminal friendly) helpers used by the experiment drivers, the
+examples and the benchmark harness:
+
+* :mod:`repro.analysis.tables` — fixed-width ASCII tables;
+* :mod:`repro.analysis.series` — named (x, y) series containers standing in
+  for the paper's figures;
+* :mod:`repro.analysis.sweep` — generic parameter-sweep runner;
+* :mod:`repro.analysis.report` — experiment report assembly (paper value vs
+  measured value, relative error, pass/fail against a tolerance band).
+"""
+
+from repro.analysis.report import ComparisonRow, ExperimentReport
+from repro.analysis.series import Series, SeriesCollection
+from repro.analysis.sweep import ParameterSweep, SweepResult
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "format_table",
+    "Series",
+    "SeriesCollection",
+    "ParameterSweep",
+    "SweepResult",
+    "ComparisonRow",
+    "ExperimentReport",
+]

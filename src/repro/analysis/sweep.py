@@ -1,0 +1,96 @@
+"""Generic parameter-sweep runner.
+
+The figure experiments all have the same shape: evaluate a function over a
+grid of one or two parameters and collect named outputs.  ``ParameterSweep``
+factors that pattern out so the experiment drivers stay declarative.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: one row per evaluated parameter combination."""
+
+    parameter_names: List[str]
+    output_names: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one parameter or output column."""
+        if name not in self.parameter_names and name not in self.output_names:
+            raise KeyError(f"Unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria) -> List[Dict[str, Any]]:
+        """Rows whose parameters equal the given criteria."""
+        selected = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                selected.append(row)
+        return selected
+
+    def to_table(self, float_format: str = ".4g", title: Optional[str] = None) -> str:
+        """Render the sweep as an ASCII table."""
+        headers = self.parameter_names + self.output_names
+        rows = [[row[name] for name in headers] for row in self.rows]
+        return format_table(headers, rows, float_format=float_format, title=title)
+
+
+class ParameterSweep:
+    """Evaluate a function over the cartesian product of parameter grids.
+
+    Parameters
+    ----------
+    function:
+        Called with one keyword argument per parameter; must return a mapping
+        of output name -> value.
+    parameters:
+        Mapping parameter name -> iterable of values.
+
+    Examples
+    --------
+    >>> sweep = ParameterSweep(
+    ...     lambda a, b: {"sum": a + b},
+    ...     {"a": [1, 2], "b": [10]})
+    >>> result = sweep.run()
+    >>> [row["sum"] for row in result.rows]
+    [11, 12]
+    """
+
+    def __init__(self, function: Callable[..., Mapping[str, Any]],
+                 parameters: Mapping[str, Iterable]):
+        if not parameters:
+            raise ValueError("At least one parameter grid is required")
+        self.function = function
+        self.parameters = {name: list(values) for name, values in parameters.items()}
+        for name, values in self.parameters.items():
+            if not values:
+                raise ValueError(f"Parameter {name!r} has an empty grid")
+
+    def run(self) -> SweepResult:
+        """Evaluate every combination and collect the results."""
+        names = list(self.parameters)
+        grids = [self.parameters[name] for name in names]
+        rows: List[Dict[str, Any]] = []
+        output_names: List[str] = []
+        start = time.perf_counter()
+        for combination in itertools.product(*grids):
+            kwargs = dict(zip(names, combination))
+            outputs = dict(self.function(**kwargs))
+            if not output_names:
+                output_names = list(outputs)
+            row = dict(kwargs)
+            row.update(outputs)
+            rows.append(row)
+        elapsed = time.perf_counter() - start
+        return SweepResult(parameter_names=names, output_names=output_names,
+                           rows=rows, elapsed_s=elapsed)

@@ -1,0 +1,35 @@
+"""Propagation / channel models.
+
+The paper's analysis needs three channel abstractions:
+
+* a **path-loss model** mapping node placement to attenuation — the case
+  study assumes path losses uniformly distributed between 55 and 95 dB and
+  all nodes within range at 0 dBm (:mod:`repro.channel.pathloss`);
+* an **AWGN link** whose bit-error rate depends only on the received power
+  (valid under slow fading, i.e. while the channel stays coherent over a
+  packet) (:mod:`repro.channel.awgn`, :mod:`repro.channel.fading`);
+* the **wired attenuator test bench** used to measure the BER curve of
+  Figure 4, reproduced here as a chip-level Monte-Carlo link simulator
+  (:mod:`repro.channel.wired`).
+"""
+
+from repro.channel.awgn import AwgnLink
+from repro.channel.fading import CoherenceModel, BlockFadingChannel
+from repro.channel.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PathLossDistribution,
+    UniformPathLossDistribution,
+)
+from repro.channel.wired import WiredTestBench
+
+__all__ = [
+    "AwgnLink",
+    "CoherenceModel",
+    "BlockFadingChannel",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "PathLossDistribution",
+    "UniformPathLossDistribution",
+    "WiredTestBench",
+]

@@ -1,0 +1,118 @@
+"""Slow (block) fading and channel-coherence model.
+
+The paper's AWGN assumption is justified by a coherence-time argument: a
+123-byte packet takes about 4 ms at 250 kbit/s, which is shorter than the
+coherence time of a fixed 2.4 GHz link.  The link-adaptation policy further
+assumes the channel is coherent over *several* packets so the path loss
+measured on the beacon still holds for the uplink transmission.
+
+``CoherenceModel`` quantifies those two conditions; ``BlockFadingChannel``
+adds a slowly varying log-normal fading component on top of a median path
+loss, held constant over each coherence block — this is what the packet-level
+simulation uses to stress the link-adaptation policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.pathloss import SPEED_OF_LIGHT_M_PER_S
+
+
+@dataclass(frozen=True)
+class CoherenceModel:
+    """Coherence time of a quasi-static 2.4 GHz channel.
+
+    Attributes
+    ----------
+    carrier_frequency_hz:
+        Carrier frequency.
+    effective_velocity_m_per_s:
+        Velocity of the dominant scatterers (for fixed sensor deployments
+        this is environmental motion, typically well below walking speed).
+    """
+
+    carrier_frequency_hz: float = 2.44e9
+    effective_velocity_m_per_s: float = 0.5
+
+    @property
+    def maximum_doppler_hz(self) -> float:
+        """Maximum Doppler shift f_d = v f_c / c."""
+        return (self.effective_velocity_m_per_s * self.carrier_frequency_hz
+                / SPEED_OF_LIGHT_M_PER_S)
+
+    @property
+    def coherence_time_s(self) -> float:
+        """Clarke's rule-of-thumb coherence time (0.423 / f_d)."""
+        doppler = self.maximum_doppler_hz
+        if doppler <= 0:
+            return math.inf
+        return 0.423 / doppler
+
+    def packet_fits_coherence(self, packet_duration_s: float,
+                              margin: float = 1.0) -> bool:
+        """Whether a packet of the given duration sees a static channel."""
+        return packet_duration_s * margin <= self.coherence_time_s
+
+    def beacons_within_coherence(self, inter_beacon_period_s: float) -> float:
+        """How many inter-beacon periods fit in one coherence time.
+
+        Values >= 1 justify the paper's link-adaptation policy (path loss
+        measured on the beacon is still valid for the following uplink).
+        """
+        if inter_beacon_period_s <= 0:
+            raise ValueError("Inter-beacon period must be positive")
+        return self.coherence_time_s / inter_beacon_period_s
+
+
+@dataclass
+class BlockFadingChannel:
+    """Median path loss plus a block-constant log-normal fading term.
+
+    Attributes
+    ----------
+    median_path_loss_db:
+        The median attenuation of the link.
+    sigma_db:
+        Standard deviation of the log-normal fading (0 = pure AWGN).
+    block_duration_s:
+        Duration over which the fading realisation is held constant; the
+        default equals the coherence time of :class:`CoherenceModel`.
+    rng:
+        Random generator used to draw fading realisations.
+    """
+
+    median_path_loss_db: float
+    sigma_db: float = 0.0
+    block_duration_s: Optional[float] = None
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self):
+        if self.block_duration_s is None:
+            self.block_duration_s = CoherenceModel().coherence_time_s
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+        self._current_block: int = -1
+        self._current_fade_db: float = 0.0
+
+    def _block_index(self, time_s: float) -> int:
+        return int(time_s // self.block_duration_s)
+
+    def path_loss_db(self, time_s: float) -> float:
+        """Instantaneous path loss at ``time_s`` (median + block fading)."""
+        block = self._block_index(time_s)
+        if block != self._current_block:
+            self._current_block = block
+            if self.sigma_db > 0.0:
+                self._current_fade_db = float(self.rng.normal(0.0, self.sigma_db))
+            else:
+                self._current_fade_db = 0.0
+        return self.median_path_loss_db + self._current_fade_db
+
+    def is_coherent_between(self, time_a_s: float, time_b_s: float) -> bool:
+        """Whether two instants fall in the same fading block."""
+        return self._block_index(time_a_s) == self._block_index(time_b_s)

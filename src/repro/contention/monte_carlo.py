@@ -1,0 +1,303 @@
+"""Slot-accurate Monte-Carlo simulation of the contention access period.
+
+The simulator reproduces how the paper characterised the slotted CSMA/CA
+procedure (Figure 6): a population of nodes (100 per channel in the paper)
+each attempt to transmit one packet per superframe; their contention
+procedures interact through the shared channel, producing the average
+contention time ``T_cont``, average CCA count ``N_CCA``, residual collision
+probability ``Pr_col`` and channel access failure probability ``Pr_cf`` as
+functions of the network load λ and the packet duration.
+
+Modelling choices (documented because the paper does not spell them out):
+
+* Nodes start their contention procedures at times uniformly distributed
+  over the inter-beacon window (``arrival_mode="uniform"``, the default).
+  A node that gathers data continuously has its packet ready at an
+  essentially random point of the superframe; starting all procedures at the
+  beacon (``arrival_mode="aligned"``) is also supported and is used as an
+  ablation — it produces the pathological burst congestion the paper's
+  16 % failure figure excludes.
+* The window length is derived from the load: ``window = N x T_packet / λ``,
+  so that the aggregate offered airtime equals λ times the channel capacity.
+* A transmission occupies the channel for the packet airtime plus the
+  acknowledgement turnaround and the acknowledgement itself (other nodes'
+  CCAs see the whole transaction as busy).
+* Two transmissions starting in the same backoff slot collide and both are
+  lost; there is no capture effect (worst case, consistent with the paper).
+* The event granularity is one backoff slot (320 µs), exactly the
+  granularity at which the slotted CSMA/CA algorithm operates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.contention.statistics import ContentionStatistics, merge_statistics
+from repro.mac.constants import MAC_2450MHZ, MacConstants
+from repro.mac.csma import CsmaAction, CsmaOutcome, CsmaParameters, SlottedCsmaCa
+from repro.mac.frames import AckFrame
+
+
+@dataclass
+class NodeAttempt:
+    """Per-node outcome of one contention window."""
+
+    node_id: int
+    arrival_slot: int
+    finish_slot: Optional[int] = None
+    transmit_slot: Optional[int] = None
+    cca_count: int = 0
+    backoff_slots: int = 0
+    access_granted: bool = False
+    collided: bool = False
+
+    @property
+    def contention_slots(self) -> Optional[int]:
+        """Slots from arrival to channel acquisition (or abandonment)."""
+        if self.finish_slot is None:
+            return None
+        return self.finish_slot - self.arrival_slot
+
+
+@dataclass
+class WindowResult:
+    """All node attempts of one simulated contention window."""
+
+    window_slots: int
+    packet_slots: int
+    attempts: List[NodeAttempt] = field(default_factory=list)
+
+    @property
+    def transmissions(self) -> int:
+        """Number of nodes that acquired the channel."""
+        return sum(1 for a in self.attempts if a.access_granted)
+
+    @property
+    def collisions(self) -> int:
+        """Number of transmissions that collided."""
+        return sum(1 for a in self.attempts if a.access_granted and a.collided)
+
+    @property
+    def access_failures(self) -> int:
+        """Number of channel access failures."""
+        return sum(1 for a in self.attempts if not a.access_granted)
+
+
+@dataclass
+class _ActiveTransmission:
+    """Channel occupancy bookkeeping entry."""
+
+    start_slot: int
+    end_slot: int
+    attempt: NodeAttempt
+
+
+class ContentionSimulator:
+    """Monte-Carlo simulator of the slotted CSMA/CA contention procedure.
+
+    Parameters
+    ----------
+    num_nodes:
+        Contending nodes per window (100 in the paper's characterisation).
+    csma_params:
+        Slotted CSMA/CA parameters (paper convention by default).
+    constants:
+        MAC constants (timing).
+    arrival_mode:
+        ``"uniform"`` — contention start times uniform over the window
+        (default); ``"aligned"`` — all nodes start at slot 0 (ablation).
+    include_ack_occupancy:
+        Whether the acknowledgement turnaround + frame extend the busy period
+        seen by other nodes' CCAs.
+    seed:
+        Master seed of the simulator's random generator.
+    """
+
+    #: Event ordering within a slot: transmissions become visible before CCAs.
+    _EVENT_TX_START = 0
+    _EVENT_CCA = 1
+
+    def __init__(self, num_nodes: int = 100,
+                 csma_params: Optional[CsmaParameters] = None,
+                 constants: MacConstants = MAC_2450MHZ,
+                 arrival_mode: str = "uniform",
+                 include_ack_occupancy: bool = True,
+                 seed: int = 0):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if arrival_mode not in ("uniform", "aligned"):
+            raise ValueError("arrival_mode must be 'uniform' or 'aligned'")
+        self.num_nodes = num_nodes
+        self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
+        self.constants = constants
+        self.arrival_mode = arrival_mode
+        self.include_ack_occupancy = include_ack_occupancy
+        self.rng = np.random.default_rng(seed)
+
+    # -- unit helpers ----------------------------------------------------------------
+    def packet_slots(self, packet_bytes: int) -> int:
+        """On-air packet duration in whole backoff slots (rounded up)."""
+        airtime = packet_bytes * self.constants.timing.byte_period_s
+        return max(1, math.ceil(airtime / self.constants.unit_backoff_period_s))
+
+    def occupancy_slots(self, packet_bytes: int) -> int:
+        """Channel-busy duration of one transaction in backoff slots."""
+        slots = self.packet_slots(packet_bytes)
+        if self.include_ack_occupancy:
+            ack_airtime = (self.constants.turnaround_time_s
+                           + AckFrame().airtime_s(self.constants.timing.byte_period_s))
+            slots += math.ceil(ack_airtime / self.constants.unit_backoff_period_s)
+        return slots
+
+    def window_slots_for_load(self, load: float, packet_bytes: int) -> int:
+        """Window length so the offered airtime equals ``load`` x capacity."""
+        if not 0.0 < load <= 1.5:
+            raise ValueError("Load must lie in (0, 1.5]")
+        packet_airtime_slots = (packet_bytes * self.constants.timing.byte_period_s
+                                / self.constants.unit_backoff_period_s)
+        return max(1, int(round(self.num_nodes * packet_airtime_slots / load)))
+
+    # -- single window ------------------------------------------------------------------
+    def simulate_window(self, packet_bytes: int, window_slots: int) -> WindowResult:
+        """Simulate one contention window and return every node's outcome."""
+        if window_slots < 1:
+            raise ValueError("window_slots must be at least 1")
+        occupancy = self.occupancy_slots(packet_bytes)
+        result = WindowResult(window_slots=window_slots,
+                              packet_slots=self.packet_slots(packet_bytes))
+
+        if self.arrival_mode == "uniform":
+            arrivals = self.rng.integers(0, window_slots, size=self.num_nodes)
+        else:
+            arrivals = np.zeros(self.num_nodes, dtype=int)
+
+        attempts = [NodeAttempt(node_id=i, arrival_slot=int(arrivals[i]))
+                    for i in range(self.num_nodes)]
+        machines = [SlottedCsmaCa(self.csma_params, rng=self.rng)
+                    for _ in range(self.num_nodes)]
+
+        # Event heap entries: (slot, event_type, sequence, node_id)
+        heap: List[tuple] = []
+        sequence = 0
+        for node_id, attempt in enumerate(attempts):
+            instruction = machines[node_id].begin()
+            assert instruction.action is CsmaAction.WAIT_BACKOFF
+            cca_slot = attempt.arrival_slot + instruction.slots
+            heapq.heappush(heap, (cca_slot, self._EVENT_CCA, sequence, node_id))
+            sequence += 1
+
+        active: List[_ActiveTransmission] = []
+
+        def channel_busy(slot: int) -> bool:
+            nonlocal active
+            active = [t for t in active if t.end_slot >= slot]
+            return any(t.start_slot <= slot <= t.end_slot for t in active)
+
+        while heap:
+            slot, event_type, _seq, node_id = heapq.heappop(heap)
+            attempt = attempts[node_id]
+            machine = machines[node_id]
+
+            if event_type == self._EVENT_TX_START:
+                transmission = _ActiveTransmission(
+                    start_slot=slot, end_slot=slot + occupancy - 1, attempt=attempt)
+                # A transmission starting while the channel is occupied (in
+                # particular: another transmission starting in the same slot)
+                # collides with every overlapping transmission.
+                overlapping = [t for t in active if t.end_slot >= slot]
+                if overlapping:
+                    attempt.collided = True
+                    for other in overlapping:
+                        other.attempt.collided = True
+                active.append(transmission)
+                attempt.transmit_slot = slot
+                attempt.finish_slot = slot
+                attempt.access_granted = True
+                continue
+
+            # CCA event: the machine told us to sense the channel at this slot.
+            machine.backoff_elapsed()  # transition WAIT_BACKOFF -> PERFORM_CCA
+            instruction = machine.cca_result(channel_busy(slot))
+            attempt.cca_count += 1
+            while True:
+                if instruction.action is CsmaAction.PERFORM_CCA:
+                    # Second CCA of the contention window: next slot.
+                    heapq.heappush(heap, (slot + 1, self._EVENT_CCA, sequence, node_id))
+                    sequence += 1
+                    break
+                if instruction.action is CsmaAction.WAIT_BACKOFF:
+                    attempt.backoff_slots += instruction.slots
+                    next_cca = slot + 1 + instruction.slots
+                    heapq.heappush(heap, (next_cca, self._EVENT_CCA, sequence, node_id))
+                    sequence += 1
+                    break
+                if instruction.action is CsmaAction.TRANSMIT:
+                    heapq.heappush(heap, (slot + 1, self._EVENT_TX_START,
+                                          sequence, node_id))
+                    sequence += 1
+                    break
+                if instruction.action is CsmaAction.FAILURE:
+                    attempt.finish_slot = slot
+                    attempt.access_granted = False
+                    break
+                raise RuntimeError(  # pragma: no cover - defensive
+                    f"Unexpected CSMA action {instruction.action}")
+
+        result.attempts = attempts
+        return result
+
+    # -- the wiring the paper calls "CCA event handling" needs a small fix: the
+    #    state machine counts the CCA itself, so avoid double counting.
+    #    (attempt.cca_count mirrors the machine's count for reporting.)
+
+    # -- characterisation --------------------------------------------------------------
+    def characterize(self, load: float, packet_bytes: int,
+                     num_windows: int = 40) -> ContentionStatistics:
+        """Estimate the four contention quantities at one (load, size) point.
+
+        Parameters
+        ----------
+        load:
+            Network load λ.
+        packet_bytes:
+            Total on-air packet size (PHY + MAC + payload).
+        num_windows:
+            Number of independent contention windows to simulate.
+        """
+        if num_windows < 1:
+            raise ValueError("num_windows must be at least 1")
+        window_slots = self.window_slots_for_load(load, packet_bytes)
+        slot_s = self.constants.unit_backoff_period_s
+
+        parts: List[ContentionStatistics] = []
+        for _ in range(num_windows):
+            window = self.simulate_window(packet_bytes, window_slots)
+            attempts = window.attempts
+            n = len(attempts)
+            contention_slots = [a.contention_slots for a in attempts
+                                if a.contention_slots is not None]
+            transmissions = window.transmissions
+            parts.append(ContentionStatistics(
+                load=load,
+                packet_bytes=packet_bytes,
+                mean_contention_time_s=(np.mean(contention_slots) * slot_s
+                                        if contention_slots else 0.0),
+                mean_cca_count=float(np.mean([a.cca_count for a in attempts])),
+                collision_probability=(window.collisions / transmissions
+                                       if transmissions else 0.0),
+                channel_access_failure_probability=window.access_failures / n,
+                mean_backoff_slots=float(np.mean([a.backoff_slots for a in attempts])),
+                samples=n,
+            ))
+        return merge_statistics(parts)
+
+    def sweep_loads(self, loads, packet_bytes: int,
+                    num_windows: int = 40) -> List[ContentionStatistics]:
+        """Characterise a list of load points at a fixed packet size."""
+        return [self.characterize(load, packet_bytes, num_windows=num_windows)
+                for load in loads]

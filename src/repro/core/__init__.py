@@ -1,0 +1,90 @@
+"""The paper's primary contribution: the analytical energy/reliability model.
+
+Section 4 of the paper builds, on top of the radio characterisation and the
+Monte-Carlo contention statistics, an analytical model of
+
+* the average time an 802.15.4 node spends in idle / transmit / receive per
+  superframe when it follows the energy-aware activation policy
+  (equations 4–6),
+* the resulting average power (equation 11),
+* the transmission failure probability (equation 13), the delivery delay and
+  the energy per useful bit (equations 13–14).
+
+Section 5 then uses the model to derive the link-adaptation thresholds
+(Figure 7), the optimal packet size (Figure 8), the dense-network case study
+(211 µW / 1.45 s / 16 %) and the energy breakdown with its improvement
+perspectives (Figure 9).
+
+Package layout
+--------------
+
+========================  =====================================================
+Module                    Content
+========================  =====================================================
+``activation_policy``     The radio activation policy and its ablation variants
+``reliability``           Equations (7)–(10), (13): P_tr, Pr_tf, Pr_fail, delay
+``energy_model``          Equations (3)–(6), (11)–(12), (14): the power model
+``link_adaptation``       Channel-inversion transmit-power thresholds (Fig. 7)
+``optimizer``             Packet-size and beacon-order optimisation (Fig. 8)
+``breakdown``             Energy-per-phase / time-per-state breakdown (Fig. 9)
+``improvements``          Transition-time and scalable-receiver perspectives
+``case_study``            The 1600-node dense-network scenario of Section 5
+========================  =====================================================
+"""
+
+from repro.core.activation_policy import ActivationPolicy, PolicyVariant
+from repro.core.breakdown import EnergyBreakdown, TimeBreakdown
+from repro.core.case_study import CaseStudy, CaseStudyParameters, CaseStudyResult
+from repro.core.energy_model import EnergyModel, ModelConfig, NodeEnergyBudget
+from repro.core.gts_comparison import GtsEnergyModel, GtsVersusContention
+from repro.core.improvements import ImprovementAnalysis, ImprovementResult
+from repro.core.lifetime import (
+    BatterySpec,
+    HarvesterSpec,
+    LifetimeAnalysis,
+    LifetimeReport,
+)
+from repro.core.sensitivity import OperatingPoint, SensitivityAnalysis
+from repro.core.link_adaptation import ChannelInversionPolicy, PowerThreshold
+from repro.core.optimizer import BeaconOrderSelector, PacketSizeOptimizer
+from repro.core.reliability import (
+    delivery_delay_s,
+    energy_per_data_bit_j,
+    packet_error_from_link,
+    transmission_attempt_distribution,
+    transmission_failure_probability,
+    transaction_failure_probability,
+)
+
+__all__ = [
+    "ActivationPolicy",
+    "PolicyVariant",
+    "EnergyModel",
+    "ModelConfig",
+    "NodeEnergyBudget",
+    "EnergyBreakdown",
+    "TimeBreakdown",
+    "ChannelInversionPolicy",
+    "PowerThreshold",
+    "PacketSizeOptimizer",
+    "BeaconOrderSelector",
+    "GtsEnergyModel",
+    "GtsVersusContention",
+    "ImprovementAnalysis",
+    "ImprovementResult",
+    "LifetimeAnalysis",
+    "LifetimeReport",
+    "BatterySpec",
+    "HarvesterSpec",
+    "SensitivityAnalysis",
+    "OperatingPoint",
+    "CaseStudy",
+    "CaseStudyParameters",
+    "CaseStudyResult",
+    "transmission_attempt_distribution",
+    "transmission_failure_probability",
+    "transaction_failure_probability",
+    "delivery_delay_s",
+    "energy_per_data_bit_j",
+    "packet_error_from_link",
+]

@@ -1,0 +1,172 @@
+"""Sensitivity analysis of the energy model.
+
+The paper's 211 µW figure depends on a handful of parameters the authors fix
+by measurement or by argument (beacon size, pre-beacon wake-up lead, maximum
+number of transmissions, contention statistics, transmit power).  This
+module perturbs each of them around the case-study operating point and
+reports how much the average power moves — the tornado-style table a
+designer uses to decide where modelling precision actually matters, and the
+quantitative backing of the paper's own improvement discussion (the largest
+sensitivities are exactly the transition overheads the paper proposes to
+attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.energy_model import EnergyModel, ModelConfig, NodeEnergyBudget
+from repro.mac.frames import BeaconFrame
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """The evaluation point the sensitivities are computed around."""
+
+    payload_bytes: int = 120
+    tx_power_dbm: float = 0.0
+    path_loss_db: float = 75.0
+    load: float = 0.42
+    beacon_order: int = 6
+
+
+@dataclass
+class SensitivityEntry:
+    """Effect of perturbing one parameter."""
+
+    parameter: str
+    low_description: str
+    high_description: str
+    power_low_w: float
+    power_nominal_w: float
+    power_high_w: float
+
+    @property
+    def swing(self) -> float:
+        """Relative power swing (high - low) / nominal."""
+        return (self.power_high_w - self.power_low_w) / self.power_nominal_w
+
+    @property
+    def magnitude(self) -> float:
+        """Absolute value of the swing (for ranking)."""
+        return abs(self.swing)
+
+
+class SensitivityAnalysis:
+    """One-at-a-time sensitivity of the average power to model parameters.
+
+    Parameters
+    ----------
+    model:
+        Baseline energy model.
+    operating_point:
+        Where to evaluate (case-study point by default).
+    """
+
+    def __init__(self, model: EnergyModel,
+                 operating_point: Optional[OperatingPoint] = None):
+        self.model = model
+        self.point = operating_point or OperatingPoint()
+
+    # -- helpers --------------------------------------------------------------------
+    def _power(self, model: EnergyModel, **overrides) -> float:
+        params = {
+            "payload_bytes": self.point.payload_bytes,
+            "tx_power_dbm": self.point.tx_power_dbm,
+            "path_loss_db": self.point.path_loss_db,
+            "load": self.point.load,
+            "beacon_order": self.point.beacon_order,
+        }
+        params.update(overrides)
+        return model.evaluate(**params).average_power_w
+
+    def _with_config(self, **config_overrides) -> EnergyModel:
+        return EnergyModel(config=replace(self.model.config, **config_overrides),
+                           contention_source=self.model.contention_source)
+
+    # -- the analysis ----------------------------------------------------------------
+    def run(self) -> List[SensitivityEntry]:
+        """Evaluate all built-in perturbations, sorted by impact."""
+        nominal = self._power(self.model)
+        entries: List[SensitivityEntry] = []
+
+        def add(parameter, low_desc, high_desc, low_power, high_power):
+            entries.append(SensitivityEntry(
+                parameter=parameter,
+                low_description=low_desc, high_description=high_desc,
+                power_low_w=low_power, power_nominal_w=nominal,
+                power_high_w=high_power))
+
+        # Beacon size: minimal beacon vs a beacon with GTS + pending fields.
+        small_beacon = self._with_config(beacon_frame=BeaconFrame())
+        large_beacon = self._with_config(beacon_frame=BeaconFrame(
+            gts_descriptors=2, pending_short_addresses=(1, 2, 3, 4),
+            beacon_payload_bytes=20))
+        add("beacon size", "minimal (17 B)", "loaded (45 B)",
+            self._power(small_beacon), self._power(large_beacon))
+
+        # Pre-beacon wake-up lead time.
+        short_lead = self._with_config(policy=replace(
+            self.model.config.policy, wake_lead_time_s=0.5e-3))
+        long_lead = self._with_config(policy=replace(
+            self.model.config.policy, wake_lead_time_s=2e-3))
+        add("wake-up lead time", "0.5 ms", "2 ms",
+            self._power(short_lead), self._power(long_lead))
+
+        # Maximum number of transmissions.
+        few = self._with_config(max_transmissions=3)
+        many = self._with_config(max_transmissions=7)
+        add("max transmissions N_max", "3", "7",
+            self._power(few), self._power(many))
+
+        # Transmit power level (link adaptation decision).
+        add("transmit power", "-25 dBm", "0 dBm",
+            self._power(self.model, tx_power_dbm=-25.0),
+            self._power(self.model, tx_power_dbm=0.0))
+
+        # Network load (contention statistics).
+        add("network load", "0.2", "0.8",
+            self._power(self.model, load=0.2),
+            self._power(self.model, load=0.8))
+
+        # Payload size (Figure 8 axis).
+        add("payload size", "30 B", "120 B",
+            self._power(self.model, payload_bytes=30),
+            self._power(self.model, payload_bytes=120))
+
+        # Transition-time scaling (the paper's first improvement).
+        slow = self.model.with_profile(
+            self.model.config.profile.with_scaled_transitions(2.0))
+        fast = self.model.with_profile(
+            self.model.config.profile.with_scaled_transitions(0.5))
+        add("state transition times", "x0.5", "x2",
+            self._power(fast), self._power(slow))
+
+        # Receive power during CCA / ACK wait (the scalable receiver).
+        scaled = self._with_config(cca_rx_power_scale=0.5, ack_rx_power_scale=0.5)
+        add("CCA/ACK receive power", "x0.5", "x1",
+            self._power(scaled), nominal)
+
+        entries.sort(key=lambda entry: entry.magnitude, reverse=True)
+        return entries
+
+    def to_table(self, entries: Optional[List[SensitivityEntry]] = None) -> str:
+        """Tornado-style ASCII table of the sensitivities."""
+        entries = entries if entries is not None else self.run()
+        rows = []
+        for entry in entries:
+            rows.append([
+                entry.parameter,
+                f"{entry.low_description} .. {entry.high_description}",
+                entry.power_low_w * 1e6,
+                entry.power_nominal_w * 1e6,
+                entry.power_high_w * 1e6,
+                100.0 * entry.swing,
+            ])
+        return format_table(
+            ["parameter", "range", "low [uW]", "nominal [uW]", "high [uW]",
+             "swing [%]"],
+            rows, title="Sensitivity of the average power "
+                        "(case-study operating point)")

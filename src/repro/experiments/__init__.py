@@ -1,0 +1,52 @@
+"""Experiment drivers — one per figure/table of the paper plus the case study.
+
+Every driver regenerates the data behind one artefact of the paper's
+evaluation and returns
+
+* one or more :class:`repro.analysis.series.SeriesCollection` (the figure's
+  curves), and
+* an :class:`repro.analysis.report.ExperimentReport` comparing the paper's
+  stated numbers with the reproduced ones.
+
+The benchmark harness under ``benchmarks/`` simply runs these drivers and
+prints their tables; EXPERIMENTS.md is assembled from the reports.
+
+=================  ======================================================
+Driver             Paper artefact
+=================  ======================================================
+``fig3_radio``     Figure 3 — CC2420 state powers and transitions
+``fig4_ber``       Figure 4 — bit-error rate vs received power
+``fig6_csma``      Figure 6 — slotted CSMA/CA behaviour vs load
+``fig7_link``      Figure 7 — optimal energy per bit vs path loss
+``fig8_packet``    Figure 8 — energy per bit vs payload size
+``fig9_breakdown`` Figure 9 — energy / time breakdowns
+``case_study``     Section 5 — 211 µW / 1.45 s / 16 % headline numbers
+``improvements``   Section 5/6 — improvement perspectives (−12 %, −15 %)
+``validation``     Model vs packet-level simulation cross-check
+=================  ======================================================
+"""
+
+from repro.experiments.common import default_model, fast_contention_table
+from repro.experiments.fig3_radio import run_fig3_radio_characterization
+from repro.experiments.fig4_ber import run_fig4_ber
+from repro.experiments.fig6_csma import run_fig6_csma
+from repro.experiments.fig7_link import run_fig7_link_adaptation
+from repro.experiments.fig8_packet import run_fig8_packet_size
+from repro.experiments.fig9_breakdown import run_fig9_breakdown
+from repro.experiments.case_study import run_case_study
+from repro.experiments.improvements import run_improvements
+from repro.experiments.validation import run_model_vs_simulation
+
+__all__ = [
+    "default_model",
+    "fast_contention_table",
+    "run_fig3_radio_characterization",
+    "run_fig4_ber",
+    "run_fig6_csma",
+    "run_fig7_link_adaptation",
+    "run_fig8_packet_size",
+    "run_fig9_breakdown",
+    "run_case_study",
+    "run_improvements",
+    "run_model_vs_simulation",
+]

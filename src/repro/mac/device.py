@@ -1,0 +1,495 @@
+"""Node-side MAC entity implementing the paper's radio activation policy.
+
+Each :class:`Device` models one sensor node of the star network.  Per
+superframe (Figure 5 of the paper) the node:
+
+1. pre-emptively wakes its radio ~1 ms before the beacon (shutdown -> idle
+   transition) and turns the receiver on to listen to the beacon;
+2. returns to idle after the beacon; if it has a packet buffered it starts
+   the slotted CSMA/CA contention procedure: random backoff delays are spent
+   in idle, each clear channel assessment turns the receiver on briefly;
+3. on channel access failure the node gives up for this superframe; on
+   success it transmits the data frame, waits ``t-ack`` in idle, then turns
+   the receiver on until the acknowledgement arrives or ``t+ack`` expires;
+4. a missed acknowledgement triggers a new contention procedure, up to
+   ``N_max`` total transmissions;
+5. once the transaction completes (or fails) the node shuts its radio down
+   until the next pre-beacon wake-up.
+
+All radio activity is charged to a per-node :class:`CC2420Radio` energy
+ledger tagged with the protocol phase, which is what the simulation-side
+energy breakdown (cross-validating Figure 9) is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.mac.commands import AssociationService, CommandFrame, CommandType
+from repro.mac.constants import MAC_2450MHZ, MacConstants
+from repro.mac.coordinator import Coordinator
+from repro.mac.csma import CsmaAction, CsmaOutcome, CsmaParameters, SlottedCsmaCa
+from repro.mac.frames import AckFrame, DataFrame
+from repro.mac.medium import Medium
+from repro.mac.superframe import Superframe, SuperframeConfig
+from repro.radio.cc2420 import CC2420Radio
+from repro.radio.power_profile import (
+    CC2420_PROFILE,
+    RadioPowerProfile,
+    T_SHUTDOWN_TO_IDLE_POLICY_S,
+)
+from repro.radio.states import RadioState
+from repro.sim.engine import Environment
+from repro.sim.monitor import CounterMonitor, Monitor
+
+#: Phase labels used in the energy ledger (match Figure 9 of the paper).
+PHASE_BEACON = "beacon"
+PHASE_CONTENTION = "contention"
+PHASE_TRANSMIT = "transmit"
+PHASE_ACK = "ackifs"
+PHASE_SLEEP = "sleep"
+#: Downlink (indirect transmission) activity — not part of the paper's
+#: uplink model, so it gets its own phase label and stays out of the
+#: Figure 9 comparison.
+PHASE_DOWNLINK = "downlink"
+
+
+@dataclass
+class TransactionRecord:
+    """Outcome of one per-superframe uplink transaction attempt."""
+
+    superframe_start_s: float
+    completed_s: Optional[float]
+    success: bool
+    transmissions: int
+    channel_access_failures: int
+    deferred: bool = False
+
+    @property
+    def delay_s(self) -> Optional[float]:
+        """Time from superframe start to successful completion."""
+        if not self.success or self.completed_s is None:
+            return None
+        return self.completed_s - self.superframe_start_s
+
+
+class Device:
+    """One sensor node of the beacon-enabled star network.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    node_id:
+        Unique node identifier (must not be 0, which is the coordinator).
+    medium:
+        The RF channel shared with the coordinator and the other nodes.
+    coordinator:
+        The PAN coordinator (decides frame acceptance and acknowledges).
+    config:
+        Superframe configuration.
+    payload_bytes:
+        Application payload per uplink packet (L in the paper).
+    tx_power_dbm:
+        Transmit power level; ``None`` lets a link-adaptation callback decide.
+    csma_params / constants / profile:
+        MAC and radio parameterisation.
+    packet_source:
+        Callable returning ``True`` when the node has a packet to send this
+        superframe (default: always — one packet per superframe, as in the
+        paper's model).
+    stagger_transactions:
+        When ``True`` (default) the node starts its uplink transaction at a
+        uniformly random offset within the contention access period instead
+        of immediately after the beacon, shutting the radio down in between.
+        This matches the arrival model used by the Monte-Carlo contention
+        characterisation (a node's buffered packet completes at an arbitrary
+        point of the superframe) and avoids the pathological burst of 100
+        simultaneous contention procedures right after each beacon.
+    enable_downlink:
+        When ``True`` (default) the node checks the beacon's pending-address
+        indication and extracts buffered downlink data with a data-request
+        command (indirect transmission, Figure 1b of the paper).
+    rng:
+        Random generator (backoff draws).
+    """
+
+    def __init__(self, env: Environment, node_id: int, medium: Medium,
+                 coordinator: Coordinator, config: SuperframeConfig,
+                 payload_bytes: int = 120,
+                 tx_power_dbm: Optional[float] = 0.0,
+                 csma_params: Optional[CsmaParameters] = None,
+                 constants: MacConstants = MAC_2450MHZ,
+                 profile: RadioPowerProfile = CC2420_PROFILE,
+                 packet_source: Optional[Callable[[], bool]] = None,
+                 stagger_transactions: bool = True,
+                 enable_downlink: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        if node_id == Coordinator.COORDINATOR_ID:
+            raise ValueError("Node id 0 is reserved for the coordinator")
+        self.env = env
+        self.node_id = node_id
+        self.medium = medium
+        self.coordinator = coordinator
+        self.config = config
+        self.payload_bytes = payload_bytes
+        self.tx_power_dbm = tx_power_dbm
+        self.constants = constants
+        self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
+        self.profile = profile
+        self.packet_source = packet_source or (lambda: True)
+        self.stagger_transactions = stagger_transactions
+        self.enable_downlink = enable_downlink
+        self.downlink_payloads: List[bytes] = []
+        self.rng = rng if rng is not None else np.random.default_rng(node_id)
+
+        self.radio = CC2420Radio(profile=profile,
+                                 initial_state=RadioState.SHUTDOWN,
+                                 time_s=env.now)
+        self.counters = CounterMonitor(f"node{node_id}")
+        self.delays = Monitor(f"node{node_id}.delay")
+        self.transactions: List[TransactionRecord] = []
+        self._sequence_number = 0
+        self._process = None
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the per-superframe uplink process."""
+        if self._process is None:
+            self._process = self.env.process(self._run())
+
+    # -- helpers ----------------------------------------------------------------------
+    def _next_sequence(self) -> int:
+        self._sequence_number = (self._sequence_number + 1) % 256
+        return self._sequence_number
+
+    def _build_data_frame(self) -> DataFrame:
+        return DataFrame(
+            source=self.node_id,
+            destination=Coordinator.COORDINATOR_ID,
+            sequence_number=self._next_sequence(),
+            ack_request=True,
+            payload=bytes(self.payload_bytes),
+        )
+
+    @property
+    def packet_airtime_s(self) -> float:
+        """Airtime of one uplink data frame (equation 3)."""
+        return self._build_data_frame().airtime_s(self.constants.timing.byte_period_s)
+
+    def _charge_radio(self, duration_s: float, state: RadioState, phase: str) -> None:
+        """Move the radio to ``state`` and dwell ``duration_s``, tagging ``phase``."""
+        self.radio.transition_to(state, phase=phase)
+        if duration_s > 0:
+            self.radio.dwell(duration_s, phase=phase)
+
+    # -- main process ------------------------------------------------------------------
+    def _run(self):
+        beacon_interval = self.config.beacon_interval_s
+        byte_period = self.constants.timing.byte_period_s
+        slot_s = self.constants.unit_backoff_period_s
+        wake_lead = T_SHUTDOWN_TO_IDLE_POLICY_S
+
+        # Align with the coordinator: the first beacon is emitted at t = 0,
+        # subsequent ones every beacon interval.  The node sleeps up to each
+        # wake-up point, then follows the activation policy.
+        next_beacon_s = 0.0
+        while True:
+            # ---- sleep until the pre-beacon wake-up --------------------------------
+            wake_time = max(self.env.now, next_beacon_s - wake_lead)
+            sleep_duration = wake_time - self.env.now
+            if sleep_duration > 0:
+                self._charge_radio(sleep_duration, RadioState.SHUTDOWN, PHASE_SLEEP)
+                yield self.env.timeout(sleep_duration)
+
+            # ---- wake up and listen to the beacon ----------------------------------
+            # The shutdown->idle transition (~1 ms) is charged to the beacon
+            # phase; any residual lead time is spent in idle.
+            self.radio.transition_to(RadioState.IDLE, phase=PHASE_BEACON)
+            startup_wait = next_beacon_s - self.env.now
+            if startup_wait > 0:
+                self.radio.dwell(startup_wait, phase=PHASE_BEACON)
+                yield self.env.timeout(startup_wait)
+
+            superframe = self.coordinator.current_superframe
+            if superframe is None or abs(superframe.beacon_time_s - next_beacon_s) > 1e-9:
+                # Beacon not observed (should not happen with an ideal
+                # coordinator); treat as a lost beacon and sleep a full period.
+                self.counters.increment("beacons_missed")
+                next_beacon_s += beacon_interval
+                continue
+
+            beacon_airtime = superframe.beacon_airtime_s
+            self._charge_radio(beacon_airtime, RadioState.RX, PHASE_BEACON)
+            yield self.env.timeout(beacon_airtime)
+            self.radio.transition_to(RadioState.IDLE, phase=PHASE_BEACON)
+            self.counters.increment("beacons_received")
+
+            # ---- downlink (indirect transmission) ------------------------------------
+            if self.enable_downlink and \
+                    self.coordinator.has_pending_downlink(self.node_id):
+                self.counters.increment("downlink_pending_seen")
+                yield from self._downlink_transaction(superframe)
+
+            # ---- uplink transaction -------------------------------------------------
+            if self.packet_source():
+                if self.stagger_transactions:
+                    yield from self._stagger_delay(superframe, wake_lead)
+                yield from self._uplink_transaction(superframe)
+
+            # ---- shutdown until the next wake-up -------------------------------------
+            next_beacon_s += beacon_interval
+            self.radio.transition_to(RadioState.SHUTDOWN, phase=PHASE_SLEEP)
+
+    def _downlink_transaction(self, superframe: Superframe):
+        """Extract pending downlink data with a data-request command.
+
+        Indirect transmission (Figure 1b): the beacon advertised pending
+        data, so the node contends for the channel, transmits a data-request
+        command, receives its acknowledgement, stays in receive mode for the
+        downlink data frame and finally acknowledges it.  Failures (channel
+        access failure, collision of the request) are abandoned for this
+        superframe — the data stays queued at the coordinator and is
+        advertised again in the next beacon.
+        """
+        constants = self.constants
+        slot_s = constants.unit_backoff_period_s
+        byte_period = constants.timing.byte_period_s
+        request = AssociationService.build_data_request(self.node_id)
+        request_airtime = request.airtime_s(byte_period)
+        ack_airtime = AckFrame().airtime_s(byte_period)
+
+        # ---- contention for the data-request command -------------------------------
+        csma = SlottedCsmaCa(self.csma_params, rng=self.rng)
+        instruction = csma.begin()
+        while True:
+            if instruction.action is CsmaAction.WAIT_BACKOFF:
+                wait_s = instruction.slots * slot_s
+                if wait_s > 0:
+                    self._charge_radio(wait_s, RadioState.IDLE, PHASE_DOWNLINK)
+                    yield self.env.timeout(wait_s)
+                instruction = csma.backoff_elapsed()
+            elif instruction.action is CsmaAction.PERFORM_CCA:
+                if not superframe.in_cap(self.env.now):
+                    self.counters.increment("downlink_deferred")
+                    return
+                self._charge_radio(slot_s, RadioState.RX, PHASE_DOWNLINK)
+                yield self.env.timeout(slot_s)
+                busy = self.medium.is_busy()
+                self.radio.transition_to(RadioState.IDLE, phase=PHASE_DOWNLINK)
+                instruction = csma.cca_result(busy)
+            elif instruction.action is CsmaAction.TRANSMIT:
+                break
+            else:  # CsmaAction.FAILURE
+                self.counters.increment("downlink_access_failures")
+                return
+
+        # ---- transmit the data request ------------------------------------------------
+        self.counters.increment("data_requests_sent")
+        self.radio.transition_to(RadioState.TX, phase=PHASE_DOWNLINK)
+        transmission = self.medium.start_transmission(
+            source=self.node_id, duration_s=request_airtime, frame=request,
+            tx_power_dbm=self.radio.tx_level_dbm)
+        self.radio.dwell(request_airtime, phase=PHASE_DOWNLINK)
+        yield self.env.timeout(request_airtime)
+        self.radio.transition_to(RadioState.IDLE, phase=PHASE_DOWNLINK)
+        if transmission.collided:
+            # Request lost; wait out the acknowledgement window and give up.
+            self._charge_radio(constants.ack_wait_duration_s, RadioState.RX,
+                               PHASE_DOWNLINK)
+            yield self.env.timeout(constants.ack_wait_duration_s)
+            self.radio.transition_to(RadioState.IDLE, phase=PHASE_DOWNLINK)
+            self.counters.increment("downlink_request_lost")
+            return
+
+        # ---- acknowledgement of the request, then the data frame -----------------------
+        self._charge_radio(constants.turnaround_time_s, RadioState.IDLE,
+                           PHASE_DOWNLINK)
+        yield self.env.timeout(constants.turnaround_time_s)
+        self._charge_radio(ack_airtime, RadioState.RX, PHASE_DOWNLINK)
+        yield self.env.timeout(ack_airtime)
+
+        downlink_frame = self.coordinator.handle_data_request(self.node_id)
+        if downlink_frame is None:
+            self.radio.transition_to(RadioState.IDLE, phase=PHASE_DOWNLINK)
+            return
+        frame_airtime = downlink_frame.airtime_s(byte_period)
+        # The coordinator turns the frame around after aTurnaroundTime; the
+        # node keeps its receiver on throughout.
+        self._charge_radio(constants.turnaround_time_s + frame_airtime,
+                           RadioState.RX, PHASE_DOWNLINK)
+        self.medium.start_transmission(
+            source=Coordinator.COORDINATOR_ID, duration_s=frame_airtime,
+            frame=downlink_frame, tx_power_dbm=0.0)
+        yield self.env.timeout(constants.turnaround_time_s + frame_airtime)
+        self.radio.transition_to(RadioState.IDLE, phase=PHASE_DOWNLINK)
+
+        # ---- acknowledge the downlink frame ----------------------------------------------
+        self._charge_radio(constants.turnaround_time_s, RadioState.IDLE,
+                           PHASE_DOWNLINK)
+        yield self.env.timeout(constants.turnaround_time_s)
+        self.radio.transition_to(RadioState.TX, phase=PHASE_DOWNLINK)
+        self.medium.start_transmission(
+            source=self.node_id, duration_s=ack_airtime,
+            frame=AckFrame(source=self.node_id), tx_power_dbm=self.radio.tx_level_dbm)
+        self.radio.dwell(ack_airtime, phase=PHASE_DOWNLINK)
+        yield self.env.timeout(ack_airtime)
+        self.radio.transition_to(RadioState.IDLE, phase=PHASE_DOWNLINK)
+        self.downlink_payloads.append(downlink_frame.payload)
+        self.counters.increment("downlink_received")
+
+    def _stagger_delay(self, superframe: Superframe, wake_lead: float):
+        """Shut down until a random transaction start within the CAP.
+
+        The node keeps enough margin at the end of the contention access
+        period for a worst-case contention (three maximum backoff windows),
+        the data frame and the acknowledgement exchange.
+        """
+        constants = self.constants
+        slot_s = constants.unit_backoff_period_s
+        margin = (56 * slot_s + self.packet_airtime_s
+                  + constants.ack_wait_duration_s)
+        latest_start = superframe.cfp_start_time_s - margin
+        earliest_start = self.env.now
+        if latest_start <= earliest_start + wake_lead:
+            return
+        start = float(self.rng.uniform(earliest_start + wake_lead, latest_start))
+        sleep_duration = start - self.env.now - wake_lead
+        if sleep_duration > 0:
+            self._charge_radio(sleep_duration, RadioState.SHUTDOWN, PHASE_SLEEP)
+            yield self.env.timeout(sleep_duration)
+        # Wake the chip back up ahead of the transaction (second shutdown ->
+        # idle transition of the superframe; small but accounted).
+        self.radio.transition_to(RadioState.IDLE, phase=PHASE_CONTENTION)
+        self._charge_radio(wake_lead, RadioState.IDLE, PHASE_CONTENTION)
+        yield self.env.timeout(wake_lead)
+
+    def _uplink_transaction(self, superframe: Superframe):
+        """Run the contention / transmit / acknowledge cycle for one packet."""
+        constants = self.constants
+        slot_s = constants.unit_backoff_period_s
+        byte_period = constants.timing.byte_period_s
+        frame = self._build_data_frame()
+        frame_airtime = frame.airtime_s(byte_period)
+        ack_airtime = AckFrame().airtime_s(byte_period)
+
+        record = TransactionRecord(
+            superframe_start_s=superframe.beacon_time_s,
+            completed_s=None, success=False,
+            transmissions=0, channel_access_failures=0,
+        )
+        self.counters.increment("packets_attempted")
+
+        for attempt in range(constants.max_transmissions):
+            # ---- contention ------------------------------------------------------
+            csma = SlottedCsmaCa(self.csma_params, rng=self.rng)
+            instruction = csma.begin()
+            access_granted = False
+            while True:
+                if instruction.action is CsmaAction.WAIT_BACKOFF:
+                    wait_s = instruction.slots * slot_s
+                    if wait_s > 0:
+                        self._charge_radio(wait_s, RadioState.IDLE, PHASE_CONTENTION)
+                        yield self.env.timeout(wait_s)
+                    instruction = csma.backoff_elapsed()
+                elif instruction.action is CsmaAction.PERFORM_CCA:
+                    # Abort if the CCA (and a subsequent transmission) can no
+                    # longer fit in the contention access period.
+                    if not superframe.in_cap(self.env.now):
+                        record.deferred = True
+                        self.counters.increment("transactions_deferred")
+                        self.transactions.append(record)
+                        return
+                    # Turn the receiver on for one backoff slot to sense.
+                    self._charge_radio(slot_s, RadioState.RX, PHASE_CONTENTION)
+                    yield self.env.timeout(slot_s)
+                    busy = self.medium.is_busy()
+                    self.radio.transition_to(RadioState.IDLE, phase=PHASE_CONTENTION)
+                    self.counters.increment("cca_performed")
+                    if busy:
+                        self.counters.increment("cca_busy")
+                    instruction = csma.cca_result(busy)
+                elif instruction.action is CsmaAction.TRANSMIT:
+                    access_granted = True
+                    break
+                elif instruction.action is CsmaAction.FAILURE:
+                    break
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"Unknown CSMA action {instruction.action}")
+
+            if not access_granted:
+                record.channel_access_failures += 1
+                self.counters.increment("channel_access_failures")
+                self.transactions.append(record)
+                return
+
+            if not superframe.transaction_fits_in_cap(
+                    self.env.now,
+                    frame_airtime + constants.turnaround_time_s + ack_airtime):
+                record.deferred = True
+                self.counters.increment("transactions_deferred")
+                self.transactions.append(record)
+                return
+
+            # ---- transmit the data frame ---------------------------------------------
+            record.transmissions += 1
+            self.counters.increment("frames_transmitted")
+            self.radio.transition_to(RadioState.TX, phase=PHASE_TRANSMIT)
+            if self.tx_power_dbm is not None:
+                self.radio.set_tx_level(self.tx_power_dbm)
+            transmission = self.medium.start_transmission(
+                source=self.node_id,
+                duration_s=frame_airtime,
+                frame=frame,
+                tx_power_dbm=self.radio.tx_level_dbm,
+            )
+            self.radio.dwell(frame_airtime, phase=PHASE_TRANSMIT)
+            yield self.env.timeout(frame_airtime)
+            self.radio.transition_to(RadioState.IDLE, phase=PHASE_TRANSMIT)
+
+            # ---- acknowledgement ------------------------------------------------------
+            acked = self.coordinator.frame_received(transmission,
+                                                    record.transmissions)
+            # Idle during the minimum turnaround (t-ack), then receive.
+            self._charge_radio(constants.turnaround_time_s, RadioState.IDLE, PHASE_ACK)
+            yield self.env.timeout(constants.turnaround_time_s)
+            if acked:
+                self._charge_radio(ack_airtime, RadioState.RX, PHASE_ACK)
+                yield self.env.timeout(ack_airtime)
+                self.radio.transition_to(RadioState.IDLE, phase=PHASE_ACK)
+                record.success = True
+                record.completed_s = self.env.now
+                self.counters.increment("packets_delivered")
+                self.delays.record(record.delay_s)
+                self.transactions.append(record)
+                return
+            # No acknowledgement: listen until t+ack expires, then retry.
+            residual_wait = max(0.0, constants.ack_wait_duration_s
+                                - constants.turnaround_time_s)
+            self._charge_radio(residual_wait, RadioState.RX, PHASE_ACK)
+            yield self.env.timeout(residual_wait)
+            self.radio.transition_to(RadioState.IDLE, phase=PHASE_ACK)
+            self.counters.increment("acks_missed")
+
+        # All transmissions exhausted without an acknowledgement.
+        self.counters.increment("packets_failed")
+        self.transactions.append(record)
+
+    # -- reporting ------------------------------------------------------------------------
+    def average_power_w(self) -> float:
+        """Average power over the node's elapsed simulation time."""
+        elapsed = self.radio.time_s
+        if elapsed <= 0:
+            raise RuntimeError("No simulated time has elapsed for this node")
+        return self.radio.ledger.total_energy_j / elapsed
+
+    def failure_probability(self) -> float:
+        """Fraction of attempted packets that were not delivered."""
+        attempted = self.counters.get("packets_attempted")
+        if attempted == 0:
+            return 0.0
+        delivered = self.counters.get("packets_delivered")
+        return 1.0 - delivered / attempted

@@ -1,0 +1,230 @@
+"""MAC frame formats and byte-accurate overhead accounting.
+
+The paper's equation (3) writes the packet airtime as ``(L_o + L) x T_B``
+with a total PHY+MAC overhead of ``L_o = 13`` bytes when short (16-bit)
+addresses are used:
+
+=====================  =====
+Field                  Bytes
+=====================  =====
+PHY preamble           4
+PHY start-of-frame     1
+PHY length field       1
+MAC frame control      2
+MAC sequence number    1
+MAC addressing         2 (short destination address, PAN-ID compressed)
+MAC frame check (FCS)  2
+=====================  =====
+Total                  13
+
+(The paper's Figure 5 quotes the addressing field as "4 to 20" bytes and the
+text says "short (4 byte) addresses", yet its stated total is L_o = 13,
+which corresponds to 2 bytes of addressing information on top of frame
+control, sequence number and FCS — a destination short address with PAN-ID
+compression.  The accounting here is parameterised by an
+:class:`AddressingMode` so richer conventions — both short addresses, or
+full 64-bit addressing — are also available; the default reproduces the
+paper's L_o = 13.)
+
+Frame classes model beacon, data and acknowledgement frames with their real
+sizes so the packet-level simulation and the analytical model use exactly
+the same byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.phy.constants import MAX_PHY_PACKET_SIZE_BYTES
+from repro.phy.frame import PHY_HEADER_BYTES
+
+#: MAC frame control field size.
+FRAME_CONTROL_BYTES = 2
+#: MAC sequence number size.
+SEQUENCE_NUMBER_BYTES = 1
+#: Frame check sequence (CRC-16) size.
+FCS_BYTES = 2
+#: Acknowledgement frame MPDU size (frame control + sequence + FCS).
+ACK_MPDU_BYTES = FRAME_CONTROL_BYTES + SEQUENCE_NUMBER_BYTES + FCS_BYTES
+
+
+class FrameType(Enum):
+    """MAC frame types of the standard."""
+
+    BEACON = 0
+    DATA = 1
+    ACK = 2
+    COMMAND = 3
+
+
+class AddressingMode(Enum):
+    """Addressing conventions with their header byte cost.
+
+    ``PAPER_SHORT``
+        The paper's accounting: 2 bytes of addressing information
+        (destination short address, PAN-ID compressed), leading to the
+        quoted L_o = 13 total overhead.
+    ``SHORT``
+        Destination and source short addresses plus the destination PAN
+        identifier (2 + 2 + 2 = 6 bytes).
+    ``EXTENDED``
+        Full 64-bit source and destination addresses plus both PAN
+        identifiers (20 bytes) — the "4 to 20" upper bound of Figure 5.
+    """
+
+    PAPER_SHORT = 2
+    SHORT = 6
+    EXTENDED = 20
+
+    @property
+    def addressing_bytes(self) -> int:
+        """Bytes occupied by the addressing fields."""
+        return self.value
+
+
+def mac_overhead_bytes(addressing: AddressingMode = AddressingMode.PAPER_SHORT) -> int:
+    """MAC header + footer bytes for a data frame (no payload)."""
+    return (FRAME_CONTROL_BYTES + SEQUENCE_NUMBER_BYTES
+            + addressing.addressing_bytes + FCS_BYTES)
+
+
+def total_packet_overhead_bytes(
+        addressing: AddressingMode = AddressingMode.PAPER_SHORT) -> int:
+    """L_o of equation (3): PHY header + MAC overhead.
+
+    With the paper's addressing convention this evaluates to 13.
+    """
+    return PHY_HEADER_BYTES + mac_overhead_bytes(addressing)
+
+
+def max_payload_bytes(addressing: AddressingMode = AddressingMode.PAPER_SHORT) -> int:
+    """Largest MAC payload that fits in aMaxPHYPacketSize."""
+    return MAX_PHY_PACKET_SIZE_BYTES - mac_overhead_bytes(addressing)
+
+
+@dataclass
+class MacFrame:
+    """Base class of all MAC frames.
+
+    Attributes
+    ----------
+    frame_type:
+        Beacon / data / ack / command.
+    sequence_number:
+        Data sequence number (0..255).
+    source / destination:
+        Node identifiers (integers; ``None`` when the field is elided).
+    ack_request:
+        Whether the receiver must acknowledge the frame.
+    addressing:
+        Addressing convention used for size accounting.
+    """
+
+    frame_type: FrameType = FrameType.DATA
+    sequence_number: int = 0
+    source: Optional[int] = None
+    destination: Optional[int] = None
+    ack_request: bool = False
+    addressing: AddressingMode = AddressingMode.PAPER_SHORT
+
+    def __post_init__(self):
+        if not 0 <= self.sequence_number <= 255:
+            raise ValueError("Sequence number must fit in one byte")
+
+    @property
+    def payload_bytes(self) -> int:
+        """MAC payload size; overridden by concrete frame classes."""
+        return 0
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """MAC protocol data unit size (header + payload + FCS)."""
+        return mac_overhead_bytes(self.addressing) + self.payload_bytes
+
+    @property
+    def ppdu_bytes(self) -> int:
+        """Full on-air size including the PHY header (L_o + L of the paper)."""
+        return PHY_HEADER_BYTES + self.mpdu_bytes
+
+    def airtime_s(self, byte_period_s: float = 32e-6) -> float:
+        """Airtime of the frame (equation 3)."""
+        return self.ppdu_bytes * byte_period_s
+
+
+@dataclass
+class BeaconFrame(MacFrame):
+    """Network beacon sent by the coordinator at each superframe start.
+
+    Attributes
+    ----------
+    beacon_order / superframe_order:
+        The BO / SO values advertised in the superframe specification.
+    gts_descriptors:
+        Number of GTS descriptors carried (each costs 3 bytes).
+    pending_short_addresses:
+        Short addresses with pending indirect data (2 bytes each).
+    beacon_payload_bytes:
+        Application-specific beacon payload.
+    """
+
+    beacon_order: int = 6
+    superframe_order: int = 6
+    gts_descriptors: int = 0
+    pending_short_addresses: Sequence[int] = field(default_factory=tuple)
+    beacon_payload_bytes: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        self.frame_type = FrameType.BEACON
+        if self.gts_descriptors < 0 or self.beacon_payload_bytes < 0:
+            raise ValueError("Beacon field sizes must be non-negative")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Superframe spec (2) + GTS fields (1 + 3/descriptor) + pending
+        address fields (1 + 2/address) + application payload."""
+        gts_bytes = 1 + 3 * self.gts_descriptors
+        pending_bytes = 1 + 2 * len(tuple(self.pending_short_addresses))
+        return 2 + gts_bytes + pending_bytes + self.beacon_payload_bytes
+
+
+@dataclass
+class DataFrame(MacFrame):
+    """A data frame carrying ``payload`` application bytes."""
+
+    payload: bytes = b""
+
+    def __post_init__(self):
+        super().__post_init__()
+        self.frame_type = FrameType.DATA
+        if self.mpdu_bytes > MAX_PHY_PACKET_SIZE_BYTES:
+            raise ValueError(
+                f"Data frame MPDU of {self.mpdu_bytes} bytes exceeds "
+                f"aMaxPHYPacketSize ({MAX_PHY_PACKET_SIZE_BYTES})")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Application payload size L."""
+        return len(self.payload)
+
+
+@dataclass
+class AckFrame(MacFrame):
+    """An acknowledgement frame (fixed 5-byte MPDU, 11 bytes on air)."""
+
+    def __post_init__(self):
+        super().__post_init__()
+        self.frame_type = FrameType.ACK
+        self.ack_request = False
+
+    @property
+    def payload_bytes(self) -> int:
+        """Acks carry no payload."""
+        return 0
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """Acks have no addressing fields: 2 + 1 + 2 = 5 bytes."""
+        return ACK_MPDU_BYTES

@@ -1,0 +1,100 @@
+"""Indirect (downlink) transmission queue.
+
+In a beacon-enabled star network the coordinator does not transmit downlink
+data immediately: it announces pending data in the beacon's pending-address
+list, and the destination device extracts it with a data-request command
+(Figure 1b of the paper).  The paper only *models* the uplink, but the
+downlink mechanism is part of the substrate: the packet-level simulation
+uses it for completeness and the beacon size accounting depends on the
+number of pending addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Maximum entries a coordinator must be able to buffer
+#: (macTransactionPersistenceTime applies per entry; size limit is
+#: implementation-defined, 7 pending addresses fit in one beacon).
+MAX_PENDING_ADDRESSES_PER_BEACON = 7
+
+
+@dataclass
+class PendingTransaction:
+    """One buffered downlink frame awaiting extraction.
+
+    Attributes
+    ----------
+    destination:
+        Short address of the destination device.
+    payload:
+        Application payload bytes.
+    enqueued_at_s:
+        Simulation time at which the frame entered the queue.
+    persistence_s:
+        How long the coordinator keeps the frame before discarding it
+        (macTransactionPersistenceTime converted to seconds).
+    """
+
+    destination: int
+    payload: bytes
+    enqueued_at_s: float
+    persistence_s: float
+
+    def expired(self, now_s: float) -> bool:
+        """Whether the transaction has outlived its persistence time."""
+        return now_s - self.enqueued_at_s > self.persistence_s
+
+
+class IndirectQueue:
+    """Coordinator-side queue of pending downlink transactions."""
+
+    def __init__(self, persistence_s: float = 7.68):
+        # Default: macTransactionPersistenceTime = 0x01F4 unit periods at
+        # BO=6 is large; 7.68 s (500 x 15.36 ms) is the standard default
+        # expressed in seconds for BO = 0 scaled conservatively.
+        self.persistence_s = persistence_s
+        self._queue: List[PendingTransaction] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, destination: int, payload: bytes, now_s: float) -> PendingTransaction:
+        """Buffer a downlink frame for ``destination``."""
+        transaction = PendingTransaction(
+            destination=destination,
+            payload=payload,
+            enqueued_at_s=now_s,
+            persistence_s=self.persistence_s,
+        )
+        self._queue.append(transaction)
+        return transaction
+
+    def purge_expired(self, now_s: float) -> List[PendingTransaction]:
+        """Drop and return every transaction past its persistence time."""
+        expired = [t for t in self._queue if t.expired(now_s)]
+        self._queue = [t for t in self._queue if not t.expired(now_s)]
+        return expired
+
+    def pending_addresses(self, limit: int = MAX_PENDING_ADDRESSES_PER_BEACON) -> List[int]:
+        """Destination addresses to advertise in the next beacon (FIFO order,
+        deduplicated, truncated to the beacon capacity)."""
+        seen: Dict[int, None] = {}
+        for transaction in self._queue:
+            if transaction.destination not in seen:
+                seen[transaction.destination] = None
+            if len(seen) >= limit:
+                break
+        return list(seen.keys())
+
+    def has_pending(self, destination: int) -> bool:
+        """Whether any frame is buffered for ``destination``."""
+        return any(t.destination == destination for t in self._queue)
+
+    def extract(self, destination: int) -> Optional[PendingTransaction]:
+        """Pop the oldest pending frame for ``destination`` (data request)."""
+        for index, transaction in enumerate(self._queue):
+            if transaction.destination == destination:
+                return self._queue.pop(index)
+        return None

@@ -1,0 +1,28 @@
+"""Network scenario substrate.
+
+Builds the dense microsensor network the paper studies: node placement
+around the base station, channel allocation over the sixteen 2450 MHz
+channels, periodic sensing traffic with buffering, and the assembly of all
+of it into a runnable packet-level simulation (for cross-validation of the
+analytical model) or into analytical per-channel scenarios.
+"""
+
+from repro.network.topology import NodePlacement, StarTopology, uniform_disc_placement
+from repro.network.traffic import BufferedTrafficSource, PeriodicSensingTraffic
+from repro.network.channel_allocation import ChannelAllocator, round_robin_allocation
+from repro.network.node import SensorNode
+from repro.network.scenario import DenseNetworkScenario, ChannelScenario, SimulationSummary
+
+__all__ = [
+    "NodePlacement",
+    "StarTopology",
+    "uniform_disc_placement",
+    "PeriodicSensingTraffic",
+    "BufferedTrafficSource",
+    "ChannelAllocator",
+    "round_robin_allocation",
+    "SensorNode",
+    "DenseNetworkScenario",
+    "ChannelScenario",
+    "SimulationSummary",
+]

@@ -1,0 +1,278 @@
+"""Scenario assembly: from the paper's case-study description to runnable objects.
+
+``DenseNetworkScenario`` builds the 1600-node / 16-channel population with
+its path losses and traffic, and can
+
+* produce the per-channel analytical view consumed by
+  :class:`repro.core.case_study.CaseStudy`, and
+* instantiate a packet-level simulation of one channel
+  (:class:`ChannelScenario`) on the discrete-event kernel, used to
+  cross-validate the analytical model (energy, failure rate, delay).
+
+Full-scale packet simulation of 100 nodes over many superframes is feasible
+but slow in pure Python; the defaults used by the tests and benches simulate
+scaled-down channels (10–30 nodes, a handful of superframes) which is enough
+to validate trends against the analytical model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.channel.awgn import AwgnLink
+from repro.mac.constants import MAC_2450MHZ, MacConstants
+from repro.mac.coordinator import Coordinator
+from repro.mac.csma import CsmaParameters
+from repro.mac.device import Device
+from repro.mac.medium import Medium
+from repro.mac.superframe import SuperframeConfig
+from repro.network.channel_allocation import ChannelAllocator
+from repro.network.node import SensorNode
+from repro.network.traffic import PeriodicSensingTraffic
+from repro.network.topology import StarTopology
+from repro.phy.bands import Band, channels_in_band
+from repro.phy.error_model import EmpiricalBerModel, ErrorModel
+from repro.sim.engine import Environment
+from repro.sim.random import RandomStreams
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregate results of one packet-level channel simulation."""
+
+    simulated_time_s: float
+    node_count: int
+    superframes: int
+    packets_attempted: int
+    packets_delivered: int
+    channel_access_failures: int
+    collisions: int
+    mean_node_power_w: float
+    mean_delivery_delay_s: float
+    energy_by_phase_j: Dict[str, float]
+
+    @property
+    def failure_probability(self) -> float:
+        """Fraction of attempted packets that were not delivered."""
+        if self.packets_attempted == 0:
+            return 0.0
+        return 1.0 - self.packets_delivered / self.packets_attempted
+
+
+class ChannelScenario:
+    """Packet-level simulation of one channel of the star network.
+
+    Parameters
+    ----------
+    nodes:
+        The sensor nodes assigned to this channel.
+    config:
+        Superframe configuration (BO = SO = 6 in the case study).
+    constants:
+        MAC constants.
+    payload_bytes:
+        Uplink packet payload.
+    seed:
+        Master seed for all random streams of the simulation.
+    csma_params:
+        CSMA/CA parameters (paper convention by default).
+    """
+
+    def __init__(self, nodes: List[SensorNode], config: SuperframeConfig,
+                 constants: MacConstants = MAC_2450MHZ,
+                 payload_bytes: int = 120, seed: int = 0,
+                 csma_params: Optional[CsmaParameters] = None):
+        if not nodes:
+            raise ValueError("A channel scenario needs at least one node")
+        self.nodes = list(nodes)
+        self.config = config
+        self.constants = constants
+        self.payload_bytes = payload_bytes
+        self.seed = seed
+        self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
+
+    def run(self, superframes: int = 10) -> SimulationSummary:
+        """Simulate ``superframes`` beacon intervals and summarise the outcome."""
+        if superframes < 1:
+            raise ValueError("superframes must be at least 1")
+        streams = RandomStreams(self.seed)
+        env = Environment()
+        channel = self.nodes[0].channel
+        medium = Medium(env, channel=channel)
+
+        links = {node.node_id: node.link() for node in self.nodes}
+        coordinator = Coordinator(
+            env, medium, self.config, constants=self.constants,
+            links=links, rng=streams.get("coordinator"))
+
+        devices: List[Device] = []
+        for node in self.nodes:
+            tx_level = node.tx_power_dbm if node.tx_power_dbm is not None else 0.0
+            device = Device(
+                env=env,
+                node_id=node.node_id,
+                medium=medium,
+                coordinator=coordinator,
+                config=self.config,
+                payload_bytes=self.payload_bytes,
+                tx_power_dbm=tx_level,
+                csma_params=self.csma_params,
+                constants=self.constants,
+                rng=streams.get(f"device[{node.node_id}]"),
+            )
+            devices.append(device)
+
+        coordinator.start()
+        for device in devices:
+            device.start()
+
+        horizon = superframes * self.config.beacon_interval_s
+        env.run(until=horizon)
+
+        # -- aggregate -------------------------------------------------------------
+        packets_attempted = sum(d.counters.get("packets_attempted") for d in devices)
+        packets_delivered = sum(d.counters.get("packets_delivered") for d in devices)
+        access_failures = sum(d.counters.get("channel_access_failures")
+                              for d in devices)
+        delays = [delay for d in devices for delay in d.delays.values]
+        powers = [d.radio.ledger.total_energy_j / max(d.radio.time_s, 1e-12)
+                  for d in devices]
+        energy_by_phase: Dict[str, float] = {}
+        for device in devices:
+            for phase, energy in device.radio.ledger.energy_by_phase().items():
+                energy_by_phase[phase] = energy_by_phase.get(phase, 0.0) + energy
+
+        return SimulationSummary(
+            simulated_time_s=horizon,
+            node_count=len(devices),
+            superframes=superframes,
+            packets_attempted=packets_attempted,
+            packets_delivered=packets_delivered,
+            channel_access_failures=access_failures,
+            collisions=medium.collision_count,
+            mean_node_power_w=float(np.mean(powers)) if powers else 0.0,
+            mean_delivery_delay_s=float(np.mean(delays)) if delays else math.nan,
+            energy_by_phase_j=energy_by_phase,
+        )
+
+
+@dataclass
+class DenseNetworkScenario:
+    """The full 1600-node, 16-channel dense network of Section 5.
+
+    Attributes
+    ----------
+    total_nodes:
+        Total population (1600 in the paper).
+    channels:
+        RF channels used (the sixteen 2450 MHz channels by default).
+    traffic:
+        Per-node sensing traffic.
+    path_loss_low_db / path_loss_high_db:
+        Bounds of the uniform path-loss distribution.
+    beacon_order:
+        Beacon order of every channel's superframe.
+    seed:
+        Master seed for node placement / path-loss draws.
+    """
+
+    total_nodes: int = 1600
+    channels: List[int] = field(
+        default_factory=lambda: channels_in_band(Band.BAND_2450MHZ))
+    traffic: PeriodicSensingTraffic = field(default_factory=PeriodicSensingTraffic)
+    path_loss_low_db: float = 55.0
+    path_loss_high_db: float = 95.0
+    beacon_order: int = 6
+    seed: int = 0
+    error_model: ErrorModel = field(default_factory=EmpiricalBerModel)
+
+    def __post_init__(self):
+        if self.total_nodes < 1:
+            raise ValueError("total_nodes must be positive")
+        if not self.channels:
+            raise ValueError("At least one channel is required")
+        self._streams = RandomStreams(self.seed)
+        self._nodes: Optional[List[SensorNode]] = None
+        self._allocator: Optional[ChannelAllocator] = None
+
+    # -- population ------------------------------------------------------------------
+    @property
+    def nodes_per_channel(self) -> int:
+        """Nominal population per channel (100 in the paper)."""
+        return self.total_nodes // len(self.channels)
+
+    def build_nodes(self) -> List[SensorNode]:
+        """Create the node population with channels and path losses assigned."""
+        if self._nodes is not None:
+            return self._nodes
+        rng = self._streams.get("scenario.pathloss")
+        node_ids = list(range(1, self.total_nodes + 1))
+        self._allocator = ChannelAllocator(list(self.channels))
+        assignment = self._allocator.allocate_round_robin(node_ids)
+        losses = rng.uniform(self.path_loss_low_db, self.path_loss_high_db,
+                             size=self.total_nodes)
+        self._nodes = [
+            SensorNode(
+                node_id=node_id,
+                channel=assignment[node_id],
+                path_loss_db=float(losses[index]),
+                traffic=self.traffic,
+                error_model=self.error_model,
+            )
+            for index, node_id in enumerate(node_ids)
+        ]
+        return self._nodes
+
+    def topology(self) -> StarTopology:
+        """The star topology (path-loss view) of the whole population."""
+        nodes = self.build_nodes()
+        return StarTopology.from_path_losses([n.path_loss_db for n in nodes])
+
+    def nodes_on_channel(self, channel: int) -> List[SensorNode]:
+        """The sensor nodes assigned to ``channel``."""
+        return [n for n in self.build_nodes() if n.channel == channel]
+
+    # -- derived scenario quantities -----------------------------------------------------
+    def superframe_config(self, constants: MacConstants = MAC_2450MHZ) -> SuperframeConfig:
+        """Superframe configuration shared by every channel."""
+        return SuperframeConfig(beacon_order=self.beacon_order,
+                                superframe_order=self.beacon_order,
+                                constants=constants)
+
+    def channel_load(self, constants: MacConstants = MAC_2450MHZ) -> float:
+        """Offered load per channel (≈ 0.42 for the paper's parameters)."""
+        return self.traffic.offered_load(
+            nodes=self.nodes_per_channel,
+            channel_bit_rate_bps=constants.timing.bit_rate_bps)
+
+    def assign_tx_powers(self, select_level) -> None:
+        """Apply a link-adaptation policy (path loss -> level) to every node."""
+        for node in self.build_nodes():
+            node.tx_power_dbm = float(select_level(node.path_loss_db))
+
+    # -- packet-level simulation -----------------------------------------------------------
+    def channel_scenario(self, channel: int, payload_bytes: Optional[int] = None,
+                         max_nodes: Optional[int] = None,
+                         constants: MacConstants = MAC_2450MHZ,
+                         seed: Optional[int] = None) -> ChannelScenario:
+        """A packet-level simulation of one channel.
+
+        ``max_nodes`` truncates the channel population (useful to keep
+        pure-Python simulation times reasonable in tests and benches).
+        """
+        nodes = self.nodes_on_channel(channel)
+        if not nodes:
+            raise ValueError(f"No nodes are assigned to channel {channel}")
+        if max_nodes is not None:
+            nodes = nodes[:max_nodes]
+        return ChannelScenario(
+            nodes=nodes,
+            config=self.superframe_config(constants),
+            constants=constants,
+            payload_bytes=payload_bytes or self.traffic.payload_bytes,
+            seed=self.seed if seed is None else seed,
+        )

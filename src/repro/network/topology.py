@@ -1,0 +1,144 @@
+"""Star-network topology and node placement.
+
+The case study places 1600 nodes uniformly in a circular area around the
+base station.  The paper then abstracts geometry away by assuming the path
+losses are uniformly distributed between 55 and 95 dB; both views are
+supported: geometric placement plus a path-loss model, or direct path-loss
+assignment from a distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.pathloss import LogDistancePathLoss, PathLossModel
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    """Position of one node relative to the base station (at the origin).
+
+    Attributes
+    ----------
+    node_id:
+        Unique identifier (>= 1; 0 is the coordinator).
+    x_m / y_m:
+        Cartesian coordinates in metres.
+    """
+
+    node_id: int
+    x_m: float
+    y_m: float
+
+    @property
+    def distance_m(self) -> float:
+        """Distance to the base station."""
+        return math.hypot(self.x_m, self.y_m)
+
+    @property
+    def angle_rad(self) -> float:
+        """Azimuth angle seen from the base station."""
+        return math.atan2(self.y_m, self.x_m)
+
+
+def uniform_disc_placement(count: int, radius_m: float,
+                           rng: np.random.Generator,
+                           first_node_id: int = 1) -> List[NodePlacement]:
+    """Place ``count`` nodes uniformly over a disc of ``radius_m``.
+
+    Uniformity over the *area* requires the radial coordinate to follow
+    ``radius * sqrt(U)``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if radius_m <= 0:
+        raise ValueError("radius_m must be positive")
+    radii = radius_m * np.sqrt(rng.random(count))
+    angles = rng.uniform(0.0, 2.0 * math.pi, count)
+    return [
+        NodePlacement(node_id=first_node_id + i,
+                      x_m=float(radii[i] * math.cos(angles[i])),
+                      y_m=float(radii[i] * math.sin(angles[i])))
+        for i in range(count)
+    ]
+
+
+@dataclass
+class StarTopology:
+    """A 1-hop star: one coordinator, many devices, per-node path losses.
+
+    Parameters
+    ----------
+    placements:
+        Geometric node positions (may be empty when path losses are assigned
+        directly from a distribution).
+    path_losses_db:
+        Mapping node id -> path loss to the coordinator.
+    node_density_per_m3:
+        Informational density figure (the paper quotes ~20 nodes/m^3 for
+        high-end deployments).
+    """
+
+    placements: List[NodePlacement] = field(default_factory=list)
+    path_losses_db: Dict[int, float] = field(default_factory=dict)
+    node_density_per_m3: Optional[float] = None
+
+    # -- constructors --------------------------------------------------------------
+    @classmethod
+    def from_placements(cls, placements: Sequence[NodePlacement],
+                        path_loss_model: Optional[PathLossModel] = None,
+                        rng: Optional[np.random.Generator] = None) -> "StarTopology":
+        """Topology with path losses derived from geometry.
+
+        ``path_loss_model`` defaults to a log-distance model with exponent 3
+        (indoor / dense deployment).
+        """
+        model = path_loss_model or LogDistancePathLoss(exponent=3.0)
+        losses = {}
+        for placement in placements:
+            distance = max(placement.distance_m, 0.1)
+            if isinstance(model, LogDistancePathLoss):
+                losses[placement.node_id] = model.attenuation_db(distance, rng=rng)
+            else:
+                losses[placement.node_id] = model.attenuation_db(distance)
+        return cls(placements=list(placements), path_losses_db=losses)
+
+    @classmethod
+    def from_path_losses(cls, path_losses_db: Sequence[float],
+                         first_node_id: int = 1) -> "StarTopology":
+        """Topology defined directly by per-node path losses (no geometry)."""
+        losses = {first_node_id + i: float(a)
+                  for i, a in enumerate(path_losses_db)}
+        return cls(placements=[], path_losses_db=losses)
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def node_ids(self) -> List[int]:
+        """All device identifiers, ascending."""
+        return sorted(self.path_losses_db)
+
+    @property
+    def node_count(self) -> int:
+        """Number of devices in the star."""
+        return len(self.path_losses_db)
+
+    def path_loss_db(self, node_id: int) -> float:
+        """Path loss of ``node_id`` to the coordinator."""
+        return self.path_losses_db[node_id]
+
+    def path_loss_array(self) -> np.ndarray:
+        """Path losses ordered by node id."""
+        return np.array([self.path_losses_db[i] for i in self.node_ids])
+
+    def nodes_within_range(self, max_path_loss_db: float) -> List[int]:
+        """Nodes whose path loss does not exceed ``max_path_loss_db``."""
+        return [i for i in self.node_ids
+                if self.path_losses_db[i] <= max_path_loss_db]
+
+    def all_within_range(self, max_path_loss_db: float) -> bool:
+        """Whether every node can reach the coordinator (paper assumption)."""
+        return len(self.nodes_within_range(max_path_loss_db)) == self.node_count

@@ -1,0 +1,146 @@
+"""Traffic models: periodic sensing with buffering.
+
+The case-study nodes sense 1 byte every 8 ms (1 kbit/s) and buffer readings
+until a 120-byte packet is available (one packet every 960 ms).  Two layers
+are provided:
+
+``PeriodicSensingTraffic``
+    The arithmetic of a periodic source: data rate, accumulation period,
+    packets per superframe, offered load.  Used by the analytical scenarios.
+
+``BufferedTrafficSource``
+    A stateful byte buffer for the packet-level simulation: readings are
+    deposited at sensing instants; the MAC drains a full packet when one is
+    available at the start of a superframe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PeriodicSensingTraffic:
+    """A node producing ``sample_bytes`` every ``sampling_interval_s``.
+
+    Attributes
+    ----------
+    sample_bytes:
+        Bytes produced per sensing event (1 in the paper).
+    sampling_interval_s:
+        Time between sensing events (8 ms in the paper).
+    payload_bytes:
+        Packet payload assembled from buffered samples (120 in the paper).
+    """
+
+    sample_bytes: int = 1
+    sampling_interval_s: float = 8e-3
+    payload_bytes: int = 120
+
+    def __post_init__(self):
+        if self.sample_bytes < 1 or self.payload_bytes < 1:
+            raise ValueError("sample_bytes and payload_bytes must be positive")
+        if self.sampling_interval_s <= 0:
+            raise ValueError("sampling_interval_s must be positive")
+        if self.payload_bytes % self.sample_bytes != 0:
+            raise ValueError("payload_bytes must be a whole number of samples")
+
+    @property
+    def data_rate_bps(self) -> float:
+        """Raw sensing data rate (1 kbit/s in the paper)."""
+        return self.sample_bytes * 8 / self.sampling_interval_s
+
+    @property
+    def samples_per_packet(self) -> int:
+        """Sensing events buffered per packet."""
+        return self.payload_bytes // self.sample_bytes
+
+    @property
+    def packet_period_s(self) -> float:
+        """Time to accumulate one full packet (960 ms in the paper)."""
+        return self.samples_per_packet * self.sampling_interval_s
+
+    def packets_per_superframe(self, inter_beacon_period_s: float) -> float:
+        """Average packets becoming available per inter-beacon period."""
+        if inter_beacon_period_s <= 0:
+            raise ValueError("inter_beacon_period_s must be positive")
+        return inter_beacon_period_s / self.packet_period_s
+
+    def offered_load(self, nodes: int, channel_bit_rate_bps: float,
+                     overhead_bytes: int = 13) -> float:
+        """Aggregate on-air load of ``nodes`` such sources on one channel."""
+        if nodes < 0:
+            raise ValueError("nodes must be non-negative")
+        if channel_bit_rate_bps <= 0:
+            raise ValueError("channel_bit_rate_bps must be positive")
+        packet_bits = (self.payload_bytes + overhead_bytes) * 8
+        packets_per_second = 1.0 / self.packet_period_s
+        return nodes * packet_bits * packets_per_second / channel_bit_rate_bps
+
+    def buffering_delay_s(self) -> float:
+        """Average age of a sample when its packet becomes ready.
+
+        A sample deposited at a uniformly random point of the accumulation
+        window waits half the packet period on average.
+        """
+        return self.packet_period_s / 2.0
+
+
+@dataclass
+class BufferedTrafficSource:
+    """Stateful byte buffer fed by a periodic sensing process.
+
+    Used by the packet-level simulation: :meth:`deposit_until` advances the
+    sensing process to a given simulation time, :meth:`packet_available`
+    checks whether a full payload is buffered and :meth:`drain_packet`
+    removes it.
+    """
+
+    traffic: PeriodicSensingTraffic = field(default_factory=PeriodicSensingTraffic)
+    start_time_s: float = 0.0
+
+    def __post_init__(self):
+        self._buffered_bytes = 0
+        self._last_deposit_time_s = self.start_time_s
+        self._samples_deposited = 0
+        self.packets_drained = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently waiting in the buffer."""
+        return self._buffered_bytes
+
+    def deposit_until(self, now_s: float) -> int:
+        """Deposit every sample produced up to ``now_s``; returns how many."""
+        if now_s < self._last_deposit_time_s:
+            raise ValueError("Time must not move backwards")
+        elapsed = now_s - self.start_time_s
+        total_samples = int(elapsed // self.traffic.sampling_interval_s)
+        new_samples = total_samples - self._samples_deposited
+        if new_samples > 0:
+            self._buffered_bytes += new_samples * self.traffic.sample_bytes
+            self._samples_deposited = total_samples
+        self._last_deposit_time_s = now_s
+        return max(0, new_samples)
+
+    def packet_available(self) -> bool:
+        """Whether a full payload worth of bytes is buffered."""
+        return self._buffered_bytes >= self.traffic.payload_bytes
+
+    def drain_packet(self) -> int:
+        """Remove one payload from the buffer.
+
+        Returns the payload size.
+
+        Raises
+        ------
+        RuntimeError
+            If no full packet is buffered.
+        """
+        if not self.packet_available():
+            raise RuntimeError("No full packet is buffered")
+        self._buffered_bytes -= self.traffic.payload_bytes
+        self.packets_drained += 1
+        return self.traffic.payload_bytes

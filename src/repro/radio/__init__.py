@@ -1,0 +1,41 @@
+"""CC2420 transceiver model.
+
+This package encodes the measurement results of Section 3 of the paper
+(Figure 3) as a reusable radio model:
+
+* :mod:`repro.radio.states` — the four operating states (shutdown, idle,
+  receive, transmit) and the legal transitions between them;
+* :mod:`repro.radio.power_profile` — steady-state power per state, the eight
+  transmit power levels with their supply currents, and the transition
+  times/energies (including the worst-case rule "transition energy =
+  transition time x power of the arrival state" used by the paper);
+* :mod:`repro.radio.cc2420` — a stateful transceiver object with an energy
+  ledger, used by the packet-level MAC simulation and by the examples;
+* :mod:`repro.radio.calibration` — fitting of the empirical BER regression
+  from (synthetic or measured) bit-error observations, reproducing how the
+  paper derived equation (1) from the attenuator test bench.
+"""
+
+from repro.radio.cc2420 import CC2420Radio, EnergyLedger, RadioEvent
+from repro.radio.power_profile import (
+    CC2420_PROFILE,
+    RadioPowerProfile,
+    StateTransition,
+    TxPowerLevel,
+)
+from repro.radio.states import IllegalTransitionError, RadioState
+from repro.radio.calibration import BerCalibration, fit_exponential_ber
+
+__all__ = [
+    "RadioState",
+    "IllegalTransitionError",
+    "RadioPowerProfile",
+    "StateTransition",
+    "TxPowerLevel",
+    "CC2420_PROFILE",
+    "CC2420Radio",
+    "EnergyLedger",
+    "RadioEvent",
+    "BerCalibration",
+    "fit_exponential_ber",
+]

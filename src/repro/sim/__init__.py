@@ -1,0 +1,60 @@
+"""Discrete-event simulation kernel.
+
+This package is the simulation substrate of the reproduction.  The paper
+characterises the slotted CSMA/CA contention procedure by Monte-Carlo
+simulation and we additionally cross-validate the analytical energy model
+against a packet-level simulation of the beacon-enabled 802.15.4 MAC.  The
+offline environment does not ship ``simpy`` so a small, fully deterministic
+process-based discrete-event kernel is implemented here from scratch.
+
+Main entry points
+-----------------
+
+``Environment``
+    The event loop: schedules :class:`Event` objects on a priority queue and
+    advances the simulation clock.
+
+``Process``
+    A generator-based coroutine driven by the environment.  A process yields
+    events (``Timeout``, other events, or other processes) and is resumed when
+    the yielded event fires.
+
+``Timeout``
+    A pure-delay event.
+
+``RandomStreams``
+    Named, reproducible ``numpy`` random generators derived from a single
+    master seed, so every stochastic component of the simulator can be
+    re-seeded independently.
+
+``Monitor`` / ``TimeWeightedMonitor`` / ``CounterMonitor``
+    Lightweight statistics collectors used by the MAC simulation and the
+    Monte-Carlo contention characterisation.
+"""
+
+from repro.sim.engine import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.monitor import CounterMonitor, Monitor, TimeWeightedMonitor
+from repro.sim.random import RandomStreams
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Monitor",
+    "TimeWeightedMonitor",
+    "CounterMonitor",
+    "RandomStreams",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,124 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Only the two primitives actually needed by the MAC / network simulation are
+provided:
+
+``Resource``
+    A counting resource with FIFO queueing (e.g. the single radio channel of
+    a star network when modelled at transaction level).
+
+``Store``
+    An unbounded FIFO buffer of Python objects with blocking ``get`` (e.g. a
+    node's transmit buffer where sensed bytes accumulate until a full packet
+    is available, and the coordinator's indirect-transmission queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class _ResourceRequest(Event):
+    """Event representing a pending request for one unit of a resource."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counting resource with ``capacity`` concurrent users.
+
+    Usage inside a process::
+
+        request = resource.request()
+        yield request
+        ...             # critical section
+        resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[_ResourceRequest] = []
+        self._waiting: Deque[_ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def request(self) -> _ResourceRequest:
+        """Ask for one unit; the returned event fires when it is granted."""
+        req = _ResourceRequest(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _ResourceRequest) -> None:
+        """Return a previously granted unit."""
+        if request not in self._users:
+            raise SimulationError("release() of a request that does not hold "
+                                  "the resource")
+        self._users.remove(request)
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class _StoreGet(Event):
+    """Event representing a pending ``get`` on a :class:`Store`."""
+
+
+class Store:
+    """Unbounded FIFO object buffer with blocking retrieval."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_StoreGet] = deque()
+
+    @property
+    def items(self) -> list:
+        """Snapshot of the buffered items (oldest first)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Insert ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> _StoreGet:
+        """Return an event that fires with the next available item."""
+        event = _StoreGet(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get: return the next item or ``None`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

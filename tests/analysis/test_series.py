@@ -1,0 +1,82 @@
+"""Unit tests of the series containers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import Series, SeriesCollection
+
+
+class TestSeries:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2, 3], [1, 2])
+
+    def test_interpolation(self):
+        series = Series("s", [0.0, 1.0, 2.0], [0.0, 10.0, 20.0])
+        assert series.interpolate(0.5) == pytest.approx(5.0)
+        assert series.interpolate(5.0) == pytest.approx(20.0)   # clamped
+
+    def test_argmin(self):
+        series = Series("s", [0.0, 1.0, 2.0], [3.0, 1.0, 2.0])
+        assert series.argmin_x() == 1.0
+
+    def test_monotonicity_check(self):
+        decreasing = Series("s", [0, 1, 2], [3.0, 2.0, 1.0])
+        assert decreasing.is_monotonic_decreasing()
+        bumpy = Series("s", [0, 1, 2], [3.0, 3.05, 1.0])
+        assert not bumpy.is_monotonic_decreasing()
+        assert bumpy.is_monotonic_decreasing(tolerance=0.02)
+
+    def test_crossing(self):
+        a = Series("a", [0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+        b = Series("b", [0.0, 1.0, 2.0], [2.0, 1.5, 1.0])
+        crossing = a.crossing_with(b)
+        assert crossing == pytest.approx(1.333, abs=0.01)
+
+    def test_no_crossing_returns_none(self):
+        a = Series("a", [0.0, 1.0], [0.0, 1.0])
+        b = Series("b", [0.0, 1.0], [2.0, 3.0])
+        assert a.crossing_with(b) is None
+
+    def test_crossing_requires_same_grid(self):
+        a = Series("a", [0.0, 1.0], [0.0, 1.0])
+        b = Series("b", [0.0, 2.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            a.crossing_with(b)
+
+    def test_len(self):
+        assert len(Series("s", [1, 2, 3], [4, 5, 6])) == 3
+
+
+class TestSeriesCollection:
+    def make_collection(self):
+        collection = SeriesCollection("fig", "x", "y")
+        collection.add(Series("a", [0, 1], [1, 2]))
+        collection.add(Series("b", [0, 1], [3, 4]))
+        return collection
+
+    def test_labels_and_get(self):
+        collection = self.make_collection()
+        assert collection.labels() == ["a", "b"]
+        assert collection.get("b").y[1] == 4
+
+    def test_get_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            self.make_collection().get("missing")
+
+    def test_to_table(self):
+        text = self.make_collection().to_table()
+        assert "fig" in text
+        assert "a" in text and "b" in text
+        # title + header + separator + two data rows
+        assert len(text.splitlines()) == 5
+
+    def test_to_table_requires_common_grid(self):
+        collection = self.make_collection()
+        collection.add(Series("c", [0, 2], [1, 1]))
+        with pytest.raises(ValueError):
+            collection.to_table()
+
+    def test_empty_collection_to_table_raises(self):
+        with pytest.raises(ValueError):
+            SeriesCollection("fig", "x", "y").to_table()

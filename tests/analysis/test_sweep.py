@@ -1,0 +1,47 @@
+"""Unit tests of the parameter-sweep runner."""
+
+import pytest
+
+from repro.analysis.sweep import ParameterSweep
+
+
+class TestParameterSweep:
+    def test_cartesian_product(self):
+        sweep = ParameterSweep(lambda a, b: {"sum": a + b},
+                               {"a": [1, 2], "b": [10, 20]})
+        result = sweep.run()
+        assert len(result.rows) == 4
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_parameter_and_output_names(self):
+        result = ParameterSweep(lambda a: {"twice": 2 * a}, {"a": [1]}).run()
+        assert result.parameter_names == ["a"]
+        assert result.output_names == ["twice"]
+
+    def test_filter(self):
+        result = ParameterSweep(lambda a, b: {"sum": a + b},
+                                {"a": [1, 2], "b": [10, 20]}).run()
+        rows = result.filter(a=1)
+        assert len(rows) == 2
+        assert all(row["a"] == 1 for row in rows)
+
+    def test_unknown_column_rejected(self):
+        result = ParameterSweep(lambda a: {"out": a}, {"a": [1]}).run()
+        with pytest.raises(KeyError):
+            result.column("missing")
+
+    def test_to_table(self):
+        result = ParameterSweep(lambda a: {"out": a * 1.5}, {"a": [1, 2]}).run()
+        table = result.to_table(title="sweep")
+        assert "sweep" in table
+        assert "out" in table
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSweep(lambda: {}, {})
+        with pytest.raises(ValueError):
+            ParameterSweep(lambda a: {"x": a}, {"a": []})
+
+    def test_elapsed_time_recorded(self):
+        result = ParameterSweep(lambda a: {"x": a}, {"a": range(5)}).run()
+        assert result.elapsed_s >= 0.0

@@ -1,0 +1,41 @@
+"""Unit tests of the ASCII table formatter."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "value"], [["long-name-here", 1], ["x", 22]])
+        lines = text.splitlines()
+        # All rows have the same width.
+        assert len(set(len(line) for line in lines[0:1] + lines[2:])) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]], float_format=".2f")
+        assert "3.14" in text
+        assert "3.141" not in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,79 @@
+"""Unit tests of the coherence / block-fading models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import BlockFadingChannel, CoherenceModel
+
+
+class TestCoherenceModel:
+    def test_coherence_time_for_fixed_deployment_is_long(self):
+        model = CoherenceModel(effective_velocity_m_per_s=0.5)
+        # ~100 ms for slow environmental motion at 2.44 GHz.
+        assert model.coherence_time_s > 50e-3
+
+    def test_packet_fits_coherence(self):
+        # The paper's argument: a 4 ms packet is much shorter than the
+        # coherence time of a fixed 2.45 GHz link.
+        model = CoherenceModel()
+        assert model.packet_fits_coherence(4e-3)
+
+    def test_zero_velocity_gives_infinite_coherence(self):
+        model = CoherenceModel(effective_velocity_m_per_s=0.0)
+        assert math.isinf(model.coherence_time_s)
+
+    def test_doppler_scales_with_velocity(self):
+        slow = CoherenceModel(effective_velocity_m_per_s=0.1)
+        fast = CoherenceModel(effective_velocity_m_per_s=1.0)
+        assert fast.maximum_doppler_hz == pytest.approx(10 * slow.maximum_doppler_hz)
+
+    def test_beacons_within_coherence(self):
+        model = CoherenceModel(effective_velocity_m_per_s=0.05)
+        assert model.beacons_within_coherence(0.983) > 0.5
+
+    def test_beacons_within_coherence_requires_positive_period(self):
+        with pytest.raises(ValueError):
+            CoherenceModel().beacons_within_coherence(0.0)
+
+
+class TestBlockFadingChannel:
+    def test_no_fading_returns_median(self):
+        channel = BlockFadingChannel(median_path_loss_db=75.0, sigma_db=0.0)
+        assert channel.path_loss_db(0.0) == pytest.approx(75.0)
+        assert channel.path_loss_db(123.4) == pytest.approx(75.0)
+
+    def test_fading_constant_within_block(self):
+        channel = BlockFadingChannel(median_path_loss_db=75.0, sigma_db=6.0,
+                                     block_duration_s=1.0,
+                                     rng=np.random.default_rng(1))
+        a = channel.path_loss_db(0.1)
+        b = channel.path_loss_db(0.9)
+        assert a == pytest.approx(b)
+
+    def test_fading_changes_between_blocks(self):
+        channel = BlockFadingChannel(median_path_loss_db=75.0, sigma_db=6.0,
+                                     block_duration_s=1.0,
+                                     rng=np.random.default_rng(1))
+        values = {channel.path_loss_db(t + 0.5) for t in range(50)}
+        assert len(values) > 10
+
+    def test_fading_statistics(self):
+        channel = BlockFadingChannel(median_path_loss_db=75.0, sigma_db=4.0,
+                                     block_duration_s=1.0,
+                                     rng=np.random.default_rng(3))
+        samples = np.array([channel.path_loss_db(t + 0.5) for t in range(500)])
+        assert samples.mean() == pytest.approx(75.0, abs=0.8)
+        assert samples.std() == pytest.approx(4.0, rel=0.25)
+
+    def test_is_coherent_between(self):
+        channel = BlockFadingChannel(median_path_loss_db=75.0,
+                                     block_duration_s=1.0)
+        assert channel.is_coherent_between(0.1, 0.9)
+        assert not channel.is_coherent_between(0.9, 1.1)
+
+    def test_default_block_duration_from_coherence_model(self):
+        channel = BlockFadingChannel(median_path_loss_db=75.0)
+        assert channel.block_duration_s == pytest.approx(
+            CoherenceModel().coherence_time_s)

@@ -1,0 +1,58 @@
+"""Unit tests of the closed-form contention approximation (ablation baseline)."""
+
+import pytest
+
+from repro.contention.analytical import ClosedFormContentionModel
+from repro.contention.monte_carlo import ContentionSimulator
+from repro.mac.csma import CsmaParameters
+
+
+class TestClosedFormModel:
+    def setup_method(self):
+        self.model = ClosedFormContentionModel()
+
+    def test_zero_load_limit(self):
+        stats = self.model.evaluate(1e-6, 133)
+        # Clear channel: exactly 2 CCAs, no failures, contention ~ first
+        # backoff plus the two CCA slots.
+        assert stats.mean_cca_count == pytest.approx(2.0, abs=0.01)
+        assert stats.channel_access_failure_probability == pytest.approx(0.0, abs=1e-6)
+        assert stats.collision_probability == pytest.approx(0.0, abs=1e-4)
+        assert stats.mean_contention_time_s == pytest.approx(
+            (3.5 + 2.0) * 320e-6, rel=0.01)
+
+    def test_monotone_in_load(self):
+        loads = [0.1, 0.3, 0.5, 0.7]
+        results = [self.model.evaluate(load, 133) for load in loads]
+        failure = [r.channel_access_failure_probability for r in results]
+        assert all(b > a for a, b in zip(failure, failure[1:]))
+        # The CCA count grows with load in the moderate-load regime (at very
+        # high load stages increasingly end after a single busy CCA, so the
+        # count saturates).
+        moderate = [self.model.evaluate(load, 133).mean_cca_count
+                    for load in (0.1, 0.3, 0.5)]
+        assert all(b > a for a, b in zip(moderate, moderate[1:]))
+
+    def test_probabilities_bounded(self):
+        for load in (0.05, 0.42, 0.9, 1.2):
+            stats = self.model.evaluate(load, 133)
+            assert 0.0 <= stats.collision_probability <= 1.0
+            assert 0.0 <= stats.channel_access_failure_probability <= 1.0
+
+    def test_callable_interface(self):
+        assert self.model(0.42, 133).load == 0.42
+
+    def test_agrees_with_monte_carlo_in_order_of_magnitude(self):
+        simulator = ContentionSimulator(num_nodes=100, seed=23)
+        mc = simulator.characterize(0.42, 133, num_windows=8)
+        cf = self.model.evaluate(0.42, 133)
+        assert cf.mean_cca_count == pytest.approx(mc.mean_cca_count, rel=0.6)
+        assert cf.channel_access_failure_probability == pytest.approx(
+            mc.channel_access_failure_probability, rel=2.0, abs=0.15)
+
+    def test_ble_parameters_shorten_contention(self):
+        ble = ClosedFormContentionModel(
+            csma_params=CsmaParameters(battery_life_extension=True))
+        normal = ClosedFormContentionModel()
+        assert ble.evaluate(0.42, 133).mean_contention_time_s < \
+            normal.evaluate(0.42, 133).mean_contention_time_s

@@ -1,0 +1,143 @@
+"""Tests of the Monte-Carlo contention simulator (Figure 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.contention.monte_carlo import ContentionSimulator
+from repro.mac.csma import CsmaParameters
+
+
+class TestUnitsAndSetup:
+    def test_packet_slots(self):
+        simulator = ContentionSimulator()
+        # 133 bytes x 32 us = 4.256 ms -> 14 slots of 320 us.
+        assert simulator.packet_slots(133) == 14
+        assert simulator.packet_slots(23) == 3
+
+    def test_occupancy_includes_ack(self):
+        with_ack = ContentionSimulator(include_ack_occupancy=True)
+        without_ack = ContentionSimulator(include_ack_occupancy=False)
+        assert with_ack.occupancy_slots(133) > without_ack.occupancy_slots(133)
+
+    def test_window_slots_for_load(self):
+        simulator = ContentionSimulator(num_nodes=100)
+        window = simulator.window_slots_for_load(0.42, 133)
+        # 100 x 13.3 slots of airtime at 42 % load -> ~3167 slots.
+        assert window == pytest.approx(3167, rel=0.02)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionSimulator().window_slots_for_load(0.0, 133)
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            ContentionSimulator(num_nodes=0)
+        with pytest.raises(ValueError):
+            ContentionSimulator(arrival_mode="bursty")
+
+
+class TestSimulateWindow:
+    def test_every_node_reaches_a_terminal_state(self):
+        simulator = ContentionSimulator(num_nodes=50, seed=1)
+        window = simulator.simulate_window(packet_bytes=133, window_slots=2000)
+        assert len(window.attempts) == 50
+        for attempt in window.attempts:
+            assert attempt.finish_slot is not None
+            assert attempt.cca_count >= 1
+        assert window.transmissions + window.access_failures == 50
+
+    def test_sparse_window_has_no_collisions(self):
+        simulator = ContentionSimulator(num_nodes=5, seed=2)
+        window = simulator.simulate_window(packet_bytes=23, window_slots=100_000)
+        assert window.collisions == 0
+        assert window.access_failures == 0
+
+    def test_aligned_arrivals_saturate(self):
+        # All 100 nodes contending right after the beacon collapses the
+        # procedure (this is why the paper's model needs spread arrivals).
+        simulator = ContentionSimulator(num_nodes=100, arrival_mode="aligned",
+                                        seed=3)
+        window = simulator.simulate_window(packet_bytes=133, window_slots=3000)
+        assert window.access_failures > 50
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionSimulator().simulate_window(133, 0)
+
+    def test_reproducibility(self):
+        a = ContentionSimulator(num_nodes=30, seed=7).characterize(0.42, 133, 5)
+        b = ContentionSimulator(num_nodes=30, seed=7).characterize(0.42, 133, 5)
+        assert a.channel_access_failure_probability == \
+            b.channel_access_failure_probability
+        assert a.mean_contention_time_s == b.mean_contention_time_s
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        simulator = ContentionSimulator(num_nodes=100, seed=11)
+        loads = [0.1, 0.42, 0.8]
+        return {load: simulator.characterize(load, 133, num_windows=8)
+                for load in loads}
+
+    def test_failure_probability_grows_with_load(self, sweep):
+        assert sweep[0.1].channel_access_failure_probability \
+            < sweep[0.42].channel_access_failure_probability \
+            < sweep[0.8].channel_access_failure_probability
+
+    def test_collision_probability_grows_with_load(self, sweep):
+        assert sweep[0.1].collision_probability < sweep[0.8].collision_probability
+
+    def test_cca_count_grows_with_load(self, sweep):
+        assert sweep[0.1].mean_cca_count < sweep[0.8].mean_cca_count
+
+    def test_contention_time_grows_with_load(self, sweep):
+        assert sweep[0.1].mean_contention_time_s < sweep[0.8].mean_contention_time_s
+
+    def test_cca_count_bounds(self, sweep):
+        # With the paper convention (CW=2, 2 extra backoffs) N_CCA lies in [2, 6].
+        for stats in sweep.values():
+            assert 2.0 <= stats.mean_cca_count <= 6.0
+
+    def test_case_study_point_consistent_with_paper(self, sweep):
+        # Pr_cf at the case-study point must be in the ballpark of the
+        # paper's 16 % transaction-failure probability.
+        stats = sweep[0.42]
+        assert 0.08 <= stats.channel_access_failure_probability <= 0.30
+
+    def test_low_load_contention_time_near_initial_backoff(self, sweep):
+        # At 10 % load contention is dominated by the first random backoff
+        # (mean 3.5 slots = 1.12 ms) plus two CCA slots.
+        assert 1e-3 < sweep[0.1].mean_contention_time_s < 4e-3
+
+    def test_smaller_packets_collide_more_at_fixed_load(self):
+        simulator = ContentionSimulator(num_nodes=100, seed=13)
+        small = simulator.characterize(0.42, 23, num_windows=8)
+        large = simulator.characterize(0.42, 133, num_windows=8)
+        assert small.collision_probability > large.collision_probability
+
+    def test_sweep_loads_helper(self):
+        simulator = ContentionSimulator(num_nodes=40, seed=17)
+        results = simulator.sweep_loads([0.1, 0.3], 63, num_windows=4)
+        assert [round(r.load, 2) for r in results] == [0.1, 0.3]
+
+    def test_num_windows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ContentionSimulator().characterize(0.42, 133, num_windows=0)
+
+
+class TestBatteryLifeExtensionBehaviour:
+    def test_ble_mode_fails_more_in_dense_conditions(self):
+        """The paper avoids battery-life extension in dense networks because
+        the shortened backoff window collapses under load.  With spread
+        arrivals the degradation shows up as a markedly higher channel
+        access failure probability."""
+        normal = ContentionSimulator(
+            num_nodes=100, seed=19,
+            csma_params=CsmaParameters()).characterize(0.6, 133, 8)
+        ble = ContentionSimulator(
+            num_nodes=100, seed=19,
+            csma_params=CsmaParameters(battery_life_extension=True)) \
+            .characterize(0.6, 133, 8)
+        assert ble.channel_access_failure_probability > \
+            normal.channel_access_failure_probability * 1.2

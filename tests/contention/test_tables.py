@@ -1,0 +1,80 @@
+"""Unit tests of the contention lookup tables and interpolation."""
+
+import pytest
+
+from repro.contention.monte_carlo import ContentionSimulator
+from repro.contention.statistics import ContentionStatistics
+from repro.contention.tables import ContentionTable, build_contention_table
+
+
+def synthetic_source(load, packet_bytes):
+    """Deterministic, smooth statistics used to test interpolation exactly."""
+    return ContentionStatistics(
+        load=load,
+        packet_bytes=packet_bytes,
+        mean_contention_time_s=1e-3 * (1.0 + load),
+        mean_cca_count=2.0 + load,
+        collision_probability=min(1.0, 0.1 * load),
+        channel_access_failure_probability=min(1.0, 0.2 * load),
+        mean_backoff_slots=3.0 + load,
+        samples=10,
+    )
+
+
+class TestContentionTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return ContentionTable.from_callable(
+            synthetic_source, loads=[0.1, 0.5, 0.9], packet_sizes=[20, 133])
+
+    def test_grid_point_lookup_is_exact(self, table):
+        stats = table.lookup(0.5, 133)
+        assert stats.mean_cca_count == pytest.approx(2.5)
+        assert stats.channel_access_failure_probability == pytest.approx(0.1)
+
+    def test_interpolation_between_loads(self, table):
+        stats = table.lookup(0.3, 133)
+        assert stats.mean_cca_count == pytest.approx(2.3)
+        assert stats.mean_contention_time_s == pytest.approx(1.3e-3)
+
+    def test_queries_clamped_to_grid(self, table):
+        below = table.lookup(0.01, 133)
+        above = table.lookup(2.0, 133)
+        assert below.mean_cca_count == pytest.approx(2.1)
+        assert above.mean_cca_count == pytest.approx(2.9)
+
+    def test_packet_size_interpolation(self, table):
+        # The synthetic source does not depend on packet size, so any size
+        # query must return the same values.
+        assert table.lookup(0.5, 60).mean_cca_count == pytest.approx(
+            table.lookup(0.5, 133).mean_cca_count)
+
+    def test_callable_interface(self, table):
+        assert table(0.5, 133).mean_cca_count == pytest.approx(2.5)
+
+    def test_grid_statistics_enumeration(self, table):
+        assert len(table.grid_statistics()) == 6
+
+    def test_unsorted_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionTable.from_callable(synthetic_source,
+                                          loads=[0.5, 0.1], packet_sizes=[20])
+
+    def test_missing_grid_point_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionTable(loads=[0.1, 0.5], packet_sizes=[20],
+                            statistics={(0, 0): synthetic_source(0.1, 20)})
+
+
+class TestBuildContentionTable:
+    def test_build_from_monte_carlo(self):
+        simulator = ContentionSimulator(num_nodes=30, seed=5)
+        table = build_contention_table([0.2, 0.6], [63], simulator=simulator,
+                                       num_windows=4)
+        low = table.lookup(0.2, 63)
+        high = table.lookup(0.6, 63)
+        assert low.channel_access_failure_probability <= \
+            high.channel_access_failure_probability
+        # Interpolated point lies between the grid values.
+        mid = table.lookup(0.4, 63)
+        assert low.mean_cca_count <= mid.mean_cca_count <= high.mean_cca_count

@@ -1,0 +1,41 @@
+"""Tests of the shared experiment helpers."""
+
+import pytest
+
+from repro.contention.tables import ContentionTable
+from repro.core.energy_model import EnergyModel, ModelConfig
+from repro.experiments.common import EXPERIMENT_SEED, default_model, fast_contention_table
+
+
+class TestFastContentionTable:
+    def test_returns_a_table_covering_the_paper_grid(self):
+        table = fast_contention_table(num_windows=5, seed=1)
+        assert isinstance(table, ContentionTable)
+        stats = table.lookup(0.42, 133)
+        assert 0.0 < stats.channel_access_failure_probability < 0.5
+        assert stats.mean_cca_count >= 2.0
+
+    def test_caching_returns_same_object(self):
+        first = fast_contention_table(num_windows=5, seed=1)
+        second = fast_contention_table(num_windows=5, seed=1)
+        assert first is second
+
+    def test_different_settings_build_different_tables(self):
+        a = fast_contention_table(num_windows=5, seed=1)
+        b = fast_contention_table(num_windows=5, seed=2)
+        assert a is not b
+
+
+class TestDefaultModel:
+    def test_default_model_uses_cached_table(self):
+        model = default_model(num_windows=5, seed=1)
+        assert isinstance(model, EnergyModel)
+        assert model.contention_source is fast_contention_table(5, 1)
+
+    def test_custom_config_is_respected(self):
+        config = ModelConfig(max_transmissions=3)
+        model = default_model(config=config, num_windows=5, seed=1)
+        assert model.config.max_transmissions == 3
+
+    def test_experiment_seed_constant(self):
+        assert EXPERIMENT_SEED == 2005

@@ -1,0 +1,148 @@
+"""Integration tests of the per-figure experiment drivers.
+
+Each driver must run end to end, produce the expected artefacts (series /
+tables / reports) and land within its declared tolerance bands.  The tests
+use scaled-down Monte-Carlo settings so the whole module stays fast; the
+benchmark harness runs the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.experiments.fig3_radio import run_fig3_radio_characterization
+from repro.experiments.fig4_ber import run_fig4_ber
+from repro.experiments.fig6_csma import run_fig6_csma
+from repro.experiments.fig7_link import run_fig7_link_adaptation
+from repro.experiments.fig8_packet import run_fig8_packet_size
+from repro.experiments.fig9_breakdown import run_fig9_breakdown
+from repro.experiments.case_study import run_case_study
+from repro.experiments.improvements import run_improvements
+from repro.experiments.validation import run_model_vs_simulation
+
+
+@pytest.fixture(scope="module")
+def model(contention_table):
+    return EnergyModel(contention_source=contention_table)
+
+
+class TestFig3:
+    def test_report_within_tolerance(self):
+        result = run_fig3_radio_characterization()
+        assert result.report.all_within_tolerance
+        assert "Shutdown" in result.state_table or "shutdown" in result.state_table
+        assert "TX level" in result.tx_level_table
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4_ber(bench_bits_per_point=20_000, seed=1)
+
+    def test_report_within_tolerance(self, result):
+        assert result.report.all_within_tolerance
+
+    def test_regression_exponent_recovered(self, result):
+        assert result.fitted_exponent == pytest.approx(0.659, rel=0.1)
+
+    def test_curves_decrease_with_power(self, result):
+        paper = result.curves.get("paper regression (eq. 1)")
+        assert paper.y[0] > paper.y[-1]
+        bench = result.curves.get("synthetic wired bench")
+        assert bench.y[0] > bench.y[-1]
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6_csma(loads=[0.1, 0.42, 0.8], num_windows=5,
+                             num_nodes=60, seed=3)
+
+    def test_report_within_tolerance(self, result):
+        assert result.report.all_within_tolerance
+
+    def test_four_panels_with_one_series_per_payload(self, result):
+        for collection in (result.contention_time, result.cca_count,
+                           result.collision_probability,
+                           result.access_failure_probability):
+            assert len(collection.series) == 4
+
+    def test_failure_probability_grows_with_load(self, result):
+        for series in result.access_failure_probability.series:
+            assert series.y[-1] >= series.y[0]
+
+    def test_tables_render(self, result):
+        assert "Figure 6d" in result.access_failure_probability.to_table()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, model):
+        return run_fig7_link_adaptation(
+            model=model, loads=(0.3, 0.42),
+            path_loss_grid_db=np.arange(50.0, 95.0, 2.5))
+
+    def test_report_within_tolerance(self, result):
+        assert result.report.all_within_tolerance
+
+    def test_energy_grows_with_path_loss(self, result):
+        for series in result.curves.series:
+            assert series.y[-1] > series.y[0]
+
+    def test_thresholds_monotone(self, result):
+        for thresholds in result.thresholds_by_load.values():
+            levels = [t.upper_level_dbm for t in thresholds]
+            assert levels == sorted(levels)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, model):
+        return run_fig8_packet_size(model=model, loads=(0.3, 0.42),
+                                    payload_sizes=[10, 40, 80, 120])
+
+    def test_report_within_tolerance(self, result):
+        assert result.report.all_within_tolerance
+
+    def test_energy_per_bit_decreases_with_size(self, result):
+        for series in result.curves.series:
+            assert series.y[-1] < series.y[0]
+
+
+class TestFig9:
+    def test_report_within_tolerance(self, model):
+        result = run_fig9_breakdown(model=model, path_loss_resolution=15)
+        assert result.report.all_within_tolerance
+        assert "Figure 9a" in result.energy_table
+        assert "Figure 9b" in result.time_table
+
+
+class TestCaseStudyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, model):
+        return run_case_study(model=model, path_loss_resolution=15)
+
+    def test_report_within_tolerance(self, result):
+        assert result.report.all_within_tolerance
+
+    def test_adaptation_beats_fixed_power(self, result):
+        assert result.with_adaptation.average_power_w < \
+            result.without_adaptation.average_power_w
+
+    def test_summary_table(self, result):
+        assert "with adaptation" in result.summary_table
+
+
+class TestImprovementsExperiment:
+    def test_report_within_tolerance(self, model):
+        result = run_improvements(model=model, path_loss_resolution=11)
+        assert result.report.all_within_tolerance
+        assert len(result.results) == 4
+
+
+class TestValidationExperiment:
+    def test_model_matches_simulation(self, model):
+        result = run_model_vs_simulation(model=model, num_nodes=8,
+                                         beacon_order=3, superframes=5, seed=11)
+        assert result.report.all_within_tolerance
+        assert result.simulation.packets_attempted > 0

@@ -1,0 +1,102 @@
+"""Tests of MAC command frames and the association service."""
+
+import pytest
+
+from repro.mac.commands import (
+    AssociationService,
+    AssociationStatus,
+    BROADCAST_SHORT_ADDRESS,
+    CommandFrame,
+    CommandType,
+)
+from repro.mac.frames import FrameType
+
+
+class TestCommandFrame:
+    def test_frame_type_forced_to_command(self):
+        frame = CommandFrame(command=CommandType.DATA_REQUEST)
+        assert frame.frame_type is FrameType.COMMAND
+
+    def test_data_request_payload_is_one_byte(self):
+        frame = CommandFrame(command=CommandType.DATA_REQUEST)
+        assert frame.payload_bytes == 1
+
+    def test_association_request_payload(self):
+        frame = CommandFrame(command=CommandType.ASSOCIATION_REQUEST)
+        assert frame.payload_bytes == 2          # identifier + capability
+
+    def test_association_response_payload(self):
+        frame = CommandFrame(command=CommandType.ASSOCIATION_RESPONSE)
+        assert frame.payload_bytes == 4          # identifier + short addr + status
+
+    def test_on_air_size_includes_headers(self):
+        frame = CommandFrame(command=CommandType.DATA_REQUEST)
+        assert frame.ppdu_bytes == 13 + 1
+
+
+class TestAssociationService:
+    def test_association_grants_unique_short_addresses(self):
+        service = AssociationService()
+        status_a, short_a = service.handle_association_request(0xAAAA, now_s=0.0)
+        status_b, short_b = service.handle_association_request(0xBBBB, now_s=1.0)
+        assert status_a is AssociationStatus.SUCCESS
+        assert status_b is AssociationStatus.SUCCESS
+        assert short_a != short_b
+        assert service.device_count == 2
+
+    def test_reassociation_returns_same_address(self):
+        service = AssociationService()
+        _, first = service.handle_association_request(0xAAAA, now_s=0.0)
+        _, second = service.handle_association_request(0xAAAA, now_s=5.0)
+        assert first == second
+        assert service.device_count == 1
+
+    def test_capacity_limit(self):
+        service = AssociationService(capacity=2)
+        service.handle_association_request(1, now_s=0.0)
+        service.handle_association_request(2, now_s=0.0)
+        status, short = service.handle_association_request(3, now_s=0.0)
+        assert status is AssociationStatus.PAN_AT_CAPACITY
+        assert short is None
+
+    def test_dense_network_capacity(self):
+        # The paper's coordinator must accommodate hundreds of nodes.
+        service = AssociationService(capacity=1600)
+        for extended in range(1600):
+            status, _ = service.handle_association_request(extended, now_s=0.0)
+            assert status is AssociationStatus.SUCCESS
+        assert service.device_count == 1600
+
+    def test_disassociation_frees_record(self):
+        service = AssociationService()
+        _, short = service.handle_association_request(0xAAAA, now_s=0.0)
+        assert service.handle_disassociation(0xAAAA)
+        assert not service.is_associated(0xAAAA)
+        assert service.record_for_short(short) is None
+        assert not service.handle_disassociation(0xAAAA)
+
+    def test_record_lookup_by_short_address(self):
+        service = AssociationService()
+        _, short = service.handle_association_request(0xCAFE, now_s=3.0)
+        record = service.record_for_short(short)
+        assert record.extended_address == 0xCAFE
+        assert record.associated_at_s == 3.0
+
+    def test_frame_builders(self):
+        request = AssociationService.build_association_request(0xDEAD)
+        assert request.command is CommandType.ASSOCIATION_REQUEST
+        assert request.ack_request
+        response = AssociationService.build_association_response(
+            5, AssociationStatus.SUCCESS)
+        assert response.command is CommandType.ASSOCIATION_RESPONSE
+        data_request = AssociationService.build_data_request(5)
+        assert data_request.command is CommandType.DATA_REQUEST
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AssociationService(capacity=0)
+        with pytest.raises(ValueError):
+            AssociationService(first_short_address=0)
+
+    def test_broadcast_constant(self):
+        assert BROADCAST_SHORT_ADDRESS == 0xFFFF

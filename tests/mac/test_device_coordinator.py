@@ -1,0 +1,154 @@
+"""Integration tests of the packet-level MAC entities (device + coordinator)."""
+
+import pytest
+
+from repro.channel.awgn import AwgnLink
+from repro.mac.constants import MAC_2450MHZ
+from repro.mac.coordinator import Coordinator
+from repro.mac.csma import CsmaParameters
+from repro.mac.device import Device
+from repro.mac.medium import Medium
+from repro.mac.superframe import SuperframeConfig
+from repro.radio.states import RadioState
+from repro.sim.engine import Environment
+from repro.sim.random import RandomStreams
+
+
+def build_network(num_nodes=3, beacon_order=2, payload_bytes=50,
+                  path_loss_db=60.0, seed=0, stagger=True,
+                  links=True):
+    """Assemble a small star network ready to run."""
+    streams = RandomStreams(seed)
+    env = Environment()
+    medium = Medium(env)
+    config = SuperframeConfig(beacon_order=beacon_order,
+                              superframe_order=beacon_order)
+    link_map = {i: AwgnLink(path_loss_db=path_loss_db)
+                for i in range(1, num_nodes + 1)} if links else {}
+    coordinator = Coordinator(env, medium, config, links=link_map,
+                              rng=streams.get("coord"))
+    devices = []
+    for node_id in range(1, num_nodes + 1):
+        devices.append(Device(
+            env=env, node_id=node_id, medium=medium, coordinator=coordinator,
+            config=config, payload_bytes=payload_bytes, tx_power_dbm=0.0,
+            stagger_transactions=stagger,
+            rng=streams.get(f"dev{node_id}")))
+    coordinator.start()
+    for device in devices:
+        device.start()
+    return env, medium, coordinator, devices, config
+
+
+class TestCoordinator:
+    def test_beacons_emitted_every_interval(self):
+        env, medium, coordinator, devices, config = build_network(num_nodes=1)
+        env.run(until=4.5 * config.beacon_interval_s)
+        assert coordinator.counters.get("beacons_sent") == 5
+
+    def test_beacon_frame_structure(self):
+        env, medium, coordinator, devices, config = build_network(num_nodes=1)
+        beacon = coordinator.build_beacon()
+        assert beacon.beacon_order == config.beacon_order
+        assert beacon.source == Coordinator.COORDINATOR_ID
+
+    def test_downlink_queue_advertised(self):
+        env, medium, coordinator, devices, config = build_network(num_nodes=1)
+        coordinator.queue_downlink(destination=1, payload=b"cmd")
+        beacon = coordinator.build_beacon()
+        assert 1 in beacon.pending_short_addresses
+
+    def test_device_id_zero_reserved(self):
+        env, medium, coordinator, devices, config = build_network(num_nodes=1)
+        with pytest.raises(ValueError):
+            Device(env=env, node_id=0, medium=medium, coordinator=coordinator,
+                   config=config)
+
+
+class TestDeviceTransactions:
+    def test_single_node_delivers_every_packet(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=1, beacon_order=2)
+        env.run(until=6 * config.beacon_interval_s)
+        device = devices[0]
+        assert device.counters.get("packets_attempted") >= 5
+        assert device.failure_probability() == pytest.approx(0.0)
+        assert coordinator.counters.get("data_frames_accepted") \
+            == device.counters.get("packets_delivered")
+
+    def test_energy_ledger_covers_all_phases(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=1, beacon_order=2)
+        env.run(until=4 * config.beacon_interval_s)
+        phases = devices[0].radio.ledger.energy_by_phase()
+        for phase in ("beacon", "contention", "transmit", "ackifs", "sleep"):
+            assert phase in phases
+            assert phases[phase] >= 0.0
+
+    def test_node_sleeps_most_of_the_time(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=1, beacon_order=4)
+        env.run(until=4 * config.beacon_interval_s)
+        times = devices[0].radio.ledger.time_by_state()
+        total = sum(times.values())
+        assert times[RadioState.SHUTDOWN] / total > 0.8
+
+    def test_average_power_decreases_with_beacon_order(self):
+        # Longer superframes amortise the fixed per-superframe cost.
+        _, _, _, devices_bo2, config2 = build_network(num_nodes=1, beacon_order=2,
+                                                      seed=1)
+        env2 = devices_bo2[0].env
+        env2.run(until=4 * config2.beacon_interval_s)
+        _, _, _, devices_bo5, config5 = build_network(num_nodes=1, beacon_order=5,
+                                                      seed=1)
+        env5 = devices_bo5[0].env
+        env5.run(until=4 * config5.beacon_interval_s)
+        assert devices_bo5[0].average_power_w() < devices_bo2[0].average_power_w()
+
+    def test_bad_link_causes_retransmissions(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=1, beacon_order=2, path_loss_db=92.5, seed=3)
+        env.run(until=8 * config.beacon_interval_s)
+        device = devices[0]
+        transmissions = device.counters.get("frames_transmitted")
+        delivered = device.counters.get("packets_delivered")
+        assert transmissions > delivered  # at least one retransmission happened
+
+    def test_perfect_link_without_links_map(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=1, beacon_order=2, links=False)
+        env.run(until=3 * config.beacon_interval_s)
+        assert devices[0].counters.get("acks_missed") == 0
+
+    def test_multiple_nodes_share_the_channel(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=4, beacon_order=3, seed=5)
+        env.run(until=4 * config.beacon_interval_s)
+        total_delivered = sum(d.counters.get("packets_delivered") for d in devices)
+        assert total_delivered > 0
+        assert coordinator.counters.get("data_frames_accepted") == total_delivered
+        # Energy is tracked per node.
+        for device in devices:
+            assert device.radio.ledger.total_energy_j > 0.0
+
+    def test_delays_recorded_for_delivered_packets(self):
+        env, medium, coordinator, devices, config = build_network(
+            num_nodes=1, beacon_order=2)
+        env.run(until=4 * config.beacon_interval_s)
+        device = devices[0]
+        assert device.delays.count == device.counters.get("packets_delivered")
+        assert device.delays.mean < config.beacon_interval_s
+
+    def test_packet_source_can_suppress_traffic(self):
+        env = Environment()
+        medium = Medium(env)
+        config = SuperframeConfig(beacon_order=2, superframe_order=2)
+        coordinator = Coordinator(env, medium, config)
+        device = Device(env=env, node_id=1, medium=medium,
+                        coordinator=coordinator, config=config,
+                        packet_source=lambda: False)
+        coordinator.start()
+        device.start()
+        env.run(until=3 * config.beacon_interval_s)
+        assert device.counters.get("packets_attempted") == 0
+        assert device.counters.get("beacons_received") >= 2

@@ -1,0 +1,92 @@
+"""Integration tests of the indirect (downlink) transmission path."""
+
+import pytest
+
+from repro.mac.coordinator import Coordinator
+from repro.mac.device import Device, PHASE_DOWNLINK
+from repro.mac.medium import Medium
+from repro.mac.superframe import SuperframeConfig
+from repro.sim.engine import Environment
+from repro.sim.random import RandomStreams
+
+
+def build_star(num_nodes=1, beacon_order=2, seed=0, enable_downlink=True,
+               packet_source=None):
+    streams = RandomStreams(seed)
+    env = Environment()
+    medium = Medium(env)
+    config = SuperframeConfig(beacon_order=beacon_order,
+                              superframe_order=beacon_order)
+    coordinator = Coordinator(env, medium, config, rng=streams.get("coord"))
+    devices = []
+    for node_id in range(1, num_nodes + 1):
+        devices.append(Device(
+            env=env, node_id=node_id, medium=medium, coordinator=coordinator,
+            config=config, payload_bytes=40, tx_power_dbm=0.0,
+            enable_downlink=enable_downlink,
+            packet_source=packet_source,
+            rng=streams.get(f"dev{node_id}")))
+    coordinator.start()
+    for device in devices:
+        device.start()
+    return env, medium, coordinator, devices, config
+
+
+class TestDownlinkDelivery:
+    def test_pending_data_is_extracted(self):
+        env, medium, coordinator, devices, config = build_star()
+        coordinator.queue_downlink(destination=1, payload=b"actuate")
+        env.run(until=3 * config.beacon_interval_s)
+        device = devices[0]
+        assert device.counters.get("downlink_pending_seen") >= 1
+        assert device.counters.get("downlink_received") == 1
+        assert device.downlink_payloads == [b"actuate"]
+        assert coordinator.counters.get("downlink_delivered") == 1
+        assert len(coordinator.indirect) == 0
+
+    def test_downlink_energy_accounted_in_its_own_phase(self):
+        env, medium, coordinator, devices, config = build_star()
+        coordinator.queue_downlink(destination=1, payload=b"x" * 50)
+        env.run(until=2 * config.beacon_interval_s)
+        phases = devices[0].radio.ledger.energy_by_phase()
+        assert phases.get(PHASE_DOWNLINK, 0.0) > 0.0
+        # Uplink phases still tracked separately.
+        assert phases.get("transmit", 0.0) > 0.0
+
+    def test_multiple_pending_frames_drain_over_superframes(self):
+        env, medium, coordinator, devices, config = build_star()
+        for index in range(3):
+            coordinator.queue_downlink(destination=1, payload=bytes([index]))
+        env.run(until=5 * config.beacon_interval_s)
+        assert devices[0].counters.get("downlink_received") == 3
+        assert devices[0].downlink_payloads == [b"\x00", b"\x01", b"\x02"]
+
+    def test_downlink_to_other_node_not_extracted(self):
+        env, medium, coordinator, devices, config = build_star(num_nodes=2)
+        coordinator.queue_downlink(destination=2, payload=b"for-node-2")
+        env.run(until=3 * config.beacon_interval_s)
+        assert devices[0].counters.get("downlink_received") == 0
+        assert devices[1].counters.get("downlink_received") == 1
+
+    def test_downlink_disabled(self):
+        env, medium, coordinator, devices, config = build_star(enable_downlink=False)
+        coordinator.queue_downlink(destination=1, payload=b"ignored")
+        env.run(until=3 * config.beacon_interval_s)
+        assert devices[0].counters.get("downlink_received") == 0
+        assert len(coordinator.indirect) == 1
+
+    def test_downlink_only_node(self):
+        # A node with no uplink traffic still pulls its pending data.
+        env, medium, coordinator, devices, config = build_star(
+            packet_source=lambda: False)
+        coordinator.queue_downlink(destination=1, payload=b"cfg")
+        env.run(until=3 * config.beacon_interval_s)
+        device = devices[0]
+        assert device.counters.get("packets_attempted") == 0
+        assert device.counters.get("downlink_received") == 1
+
+    def test_coordinator_counts_requests(self):
+        env, medium, coordinator, devices, config = build_star()
+        coordinator.queue_downlink(destination=1, payload=b"a")
+        env.run(until=2 * config.beacon_interval_s)
+        assert coordinator.counters.get("data_requests_received") >= 1

@@ -1,0 +1,124 @@
+"""Unit tests of MAC frame formats and overhead accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.frames import (
+    ACK_MPDU_BYTES,
+    AckFrame,
+    AddressingMode,
+    BeaconFrame,
+    DataFrame,
+    FrameType,
+    MacFrame,
+    mac_overhead_bytes,
+    max_payload_bytes,
+    total_packet_overhead_bytes,
+)
+
+
+class TestOverheadAccounting:
+    def test_paper_total_overhead_is_13_bytes(self):
+        # L_o = 13 of equation (3).
+        assert total_packet_overhead_bytes(AddressingMode.PAPER_SHORT) == 13
+
+    def test_mac_overhead_paper_convention(self):
+        assert mac_overhead_bytes(AddressingMode.PAPER_SHORT) == 7
+
+    def test_other_addressing_modes_cost_more(self):
+        assert total_packet_overhead_bytes(AddressingMode.SHORT) == 17
+        assert total_packet_overhead_bytes(AddressingMode.EXTENDED) == 31
+
+    def test_max_payload(self):
+        assert max_payload_bytes(AddressingMode.PAPER_SHORT) == 120
+        assert max_payload_bytes(AddressingMode.EXTENDED) == 102
+
+
+class TestDataFrame:
+    def test_paper_packet_sizes(self):
+        # 120-byte payload -> 133 bytes on air -> 4.256 ms airtime.
+        frame = DataFrame(payload=bytes(120))
+        assert frame.mpdu_bytes == 127
+        assert frame.ppdu_bytes == 133
+        assert frame.airtime_s(32e-6) == pytest.approx(4.256e-3)
+
+    def test_empty_payload(self):
+        frame = DataFrame(payload=b"")
+        assert frame.ppdu_bytes == 13
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            DataFrame(payload=bytes(121))
+
+    def test_frame_type_forced_to_data(self):
+        frame = DataFrame(payload=b"x", frame_type=FrameType.BEACON)
+        assert frame.frame_type is FrameType.DATA
+
+    def test_sequence_number_range(self):
+        with pytest.raises(ValueError):
+            DataFrame(payload=b"", sequence_number=256)
+
+    @settings(max_examples=30, deadline=None)
+    @given(size=st.integers(min_value=0, max_value=120))
+    def test_airtime_equation_3(self, size):
+        frame = DataFrame(payload=bytes(size))
+        assert frame.ppdu_bytes == 13 + size
+        assert frame.airtime_s(32e-6) == pytest.approx((13 + size) * 32e-6)
+
+
+class TestAckFrame:
+    def test_ack_is_11_bytes_on_air(self):
+        ack = AckFrame()
+        assert ack.mpdu_bytes == ACK_MPDU_BYTES == 5
+        assert ack.ppdu_bytes == 11
+
+    def test_ack_airtime_is_352_us(self):
+        assert AckFrame().airtime_s(32e-6) == pytest.approx(352e-6)
+
+    def test_ack_never_requests_ack(self):
+        assert not AckFrame(ack_request=True).ack_request
+
+
+class TestBeaconFrame:
+    def test_minimal_beacon_size(self):
+        beacon = BeaconFrame()
+        # 2 (superframe spec) + 1 (GTS spec) + 1 (pending spec) = 4 payload.
+        assert beacon.payload_bytes == 4
+        assert beacon.ppdu_bytes == 17
+
+    def test_gts_descriptors_add_three_bytes_each(self):
+        assert BeaconFrame(gts_descriptors=2).payload_bytes == \
+            BeaconFrame().payload_bytes + 6
+
+    def test_pending_addresses_add_two_bytes_each(self):
+        beacon = BeaconFrame(pending_short_addresses=(1, 2, 3))
+        assert beacon.payload_bytes == BeaconFrame().payload_bytes + 6
+
+    def test_beacon_payload_bytes(self):
+        assert BeaconFrame(beacon_payload_bytes=12).payload_bytes == 16
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            BeaconFrame(gts_descriptors=-1)
+        with pytest.raises(ValueError):
+            BeaconFrame(beacon_payload_bytes=-1)
+
+    def test_frame_type(self):
+        assert BeaconFrame().frame_type is FrameType.BEACON
+
+    def test_orders_stored(self):
+        beacon = BeaconFrame(beacon_order=6, superframe_order=4)
+        assert beacon.beacon_order == 6
+        assert beacon.superframe_order == 4
+
+
+class TestMacFrameBase:
+    def test_default_payload_is_zero(self):
+        frame = MacFrame(frame_type=FrameType.COMMAND)
+        assert frame.payload_bytes == 0
+        assert frame.mpdu_bytes == 7
+
+    def test_airtime_scales_with_byte_period(self):
+        frame = DataFrame(payload=bytes(10))
+        assert frame.airtime_s(64e-6) == pytest.approx(2 * frame.airtime_s(32e-6))

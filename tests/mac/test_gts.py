@@ -1,0 +1,83 @@
+"""Unit tests of GTS management."""
+
+import pytest
+
+from repro.mac.gts import MAX_GTS_DESCRIPTORS, GtsDescriptor, GtsManager
+
+
+class TestGtsDescriptor:
+    def test_valid_descriptor(self):
+        descriptor = GtsDescriptor(device=3, starting_slot=14, length_slots=2)
+        assert descriptor.direction_tx
+
+    def test_invalid_descriptors_rejected(self):
+        with pytest.raises(ValueError):
+            GtsDescriptor(device=1, starting_slot=16, length_slots=1)
+        with pytest.raises(ValueError):
+            GtsDescriptor(device=1, starting_slot=0, length_slots=0)
+        with pytest.raises(ValueError):
+            GtsDescriptor(device=1, starting_slot=15, length_slots=2)
+
+
+class TestGtsManager:
+    def test_allocation_packs_from_the_tail(self):
+        manager = GtsManager()
+        first = manager.request(device=1, length_slots=2)
+        second = manager.request(device=2, length_slots=1)
+        assert first.starting_slot == 14
+        assert second.starting_slot == 13
+        assert manager.first_cfp_slot == 13
+        assert manager.allocated_slots == 3
+
+    def test_duplicate_device_rejected(self):
+        manager = GtsManager()
+        manager.request(device=1, length_slots=1)
+        with pytest.raises(ValueError):
+            manager.request(device=1, length_slots=1)
+
+    def test_cap_protection(self):
+        manager = GtsManager(min_cap_slots=9)
+        with pytest.raises(ValueError):
+            manager.request(device=1, length_slots=8)
+
+    def test_descriptor_budget_of_seven(self):
+        manager = GtsManager(min_cap_slots=1)
+        for device in range(7):
+            manager.request(device=device, length_slots=1)
+        with pytest.raises(ValueError):
+            manager.request(device=99, length_slots=1)
+
+    def test_release_and_repack(self):
+        manager = GtsManager()
+        manager.request(device=1, length_slots=2)
+        manager.request(device=2, length_slots=1)
+        manager.release(device=1)
+        remaining = manager.allocation_for(2)
+        assert remaining.starting_slot == 15
+        assert manager.allocated_slots == 1
+
+    def test_release_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            GtsManager().release(device=5)
+
+    def test_capacity_remaining(self):
+        manager = GtsManager(min_cap_slots=9)
+        assert manager.capacity_remaining() == 7
+        manager.request(device=1, length_slots=3)
+        assert manager.capacity_remaining() == 4
+
+    def test_dense_network_argument(self):
+        # The paper's point: at most 7 devices can ever hold a GTS, far short
+        # of the several hundred contending nodes of a dense network.
+        manager = GtsManager(min_cap_slots=9)
+        assert manager.max_devices_servable(slots_per_device=1) \
+            == min(MAX_GTS_DESCRIPTORS, 7)
+        assert manager.max_devices_servable(slots_per_device=1) < 100
+
+    def test_max_devices_requires_positive_slots(self):
+        with pytest.raises(ValueError):
+            GtsManager().max_devices_servable(0)
+
+    def test_invalid_min_cap(self):
+        with pytest.raises(ValueError):
+            GtsManager(min_cap_slots=0)

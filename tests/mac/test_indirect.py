@@ -1,0 +1,54 @@
+"""Unit tests of the indirect (downlink) transmission queue."""
+
+import pytest
+
+from repro.mac.indirect import (
+    MAX_PENDING_ADDRESSES_PER_BEACON,
+    IndirectQueue,
+    PendingTransaction,
+)
+
+
+class TestIndirectQueue:
+    def test_enqueue_and_extract(self):
+        queue = IndirectQueue()
+        queue.enqueue(destination=5, payload=b"data", now_s=0.0)
+        assert len(queue) == 1
+        assert queue.has_pending(5)
+        transaction = queue.extract(5)
+        assert transaction.payload == b"data"
+        assert len(queue) == 0
+
+    def test_extract_unknown_destination_returns_none(self):
+        assert IndirectQueue().extract(9) is None
+
+    def test_fifo_per_destination(self):
+        queue = IndirectQueue()
+        queue.enqueue(5, b"first", now_s=0.0)
+        queue.enqueue(5, b"second", now_s=1.0)
+        assert queue.extract(5).payload == b"first"
+        assert queue.extract(5).payload == b"second"
+
+    def test_pending_addresses_deduplicated_and_limited(self):
+        queue = IndirectQueue()
+        for destination in range(10):
+            queue.enqueue(destination, b"x", now_s=0.0)
+            queue.enqueue(destination, b"y", now_s=0.0)
+        pending = queue.pending_addresses()
+        assert len(pending) == MAX_PENDING_ADDRESSES_PER_BEACON
+        assert len(set(pending)) == len(pending)
+
+    def test_expiry(self):
+        queue = IndirectQueue(persistence_s=1.0)
+        queue.enqueue(1, b"old", now_s=0.0)
+        queue.enqueue(2, b"new", now_s=5.0)
+        expired = queue.purge_expired(now_s=5.5)
+        assert [t.destination for t in expired] == [1]
+        assert queue.has_pending(2)
+        assert not queue.has_pending(1)
+
+    def test_pending_transaction_expired(self):
+        transaction = PendingTransaction(destination=1, payload=b"",
+                                         enqueued_at_s=0.0, persistence_s=2.0)
+        assert not transaction.expired(1.0)
+        assert transaction.expired(2.5)

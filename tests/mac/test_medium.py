@@ -1,0 +1,74 @@
+"""Unit tests of the shared-medium model."""
+
+import pytest
+
+from repro.mac.frames import DataFrame
+from repro.mac.medium import Medium, Transmission
+from repro.sim.engine import Environment
+
+
+class TestTransmission:
+    def test_overlap_detection(self):
+        a = Transmission(1, 0.0, 1.0, None, 0.0)
+        b = Transmission(2, 0.5, 1.5, None, 0.0)
+        c = Transmission(3, 1.0, 2.0, None, 0.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)       # touching intervals do not overlap
+
+
+class TestMedium:
+    def test_idle_channel(self):
+        medium = Medium(Environment())
+        assert not medium.is_busy()
+        assert medium.busy_until() == 0.0
+
+    def test_busy_during_transmission(self):
+        env = Environment()
+        medium = Medium(env)
+        medium.start_transmission(source=1, duration_s=1e-3,
+                                  frame=DataFrame(payload=b"x"), tx_power_dbm=0.0)
+        assert medium.is_busy()
+        assert medium.busy_until() == pytest.approx(1e-3)
+
+    def test_channel_frees_after_transmission(self):
+        env = Environment()
+        medium = Medium(env)
+        medium.start_transmission(1, 1e-3, DataFrame(payload=b"x"), 0.0)
+
+        def waiter():
+            yield env.timeout(2e-3)
+
+        env.process(waiter())
+        env.run()
+        assert not medium.is_busy()
+
+    def test_overlapping_transmissions_collide(self):
+        env = Environment()
+        medium = Medium(env)
+        first = medium.start_transmission(1, 1e-3, DataFrame(payload=b"a"), 0.0)
+        second = medium.start_transmission(2, 1e-3, DataFrame(payload=b"b"), 0.0)
+        assert first.collided and second.collided
+        assert medium.collision_count >= 1
+        assert medium.transmission_count == 2
+
+    def test_sequential_transmissions_do_not_collide(self):
+        env = Environment()
+        medium = Medium(env)
+        first = medium.start_transmission(1, 1e-3, DataFrame(payload=b"a"), 0.0)
+
+        def later():
+            yield env.timeout(2e-3)
+            second = medium.start_transmission(2, 1e-3, DataFrame(payload=b"b"), 0.0)
+            assert not second.collided
+
+        env.process(later())
+        env.run()
+        assert not first.collided
+
+    def test_history_contains_all_transmissions(self):
+        env = Environment()
+        medium = Medium(env)
+        medium.start_transmission(1, 1e-3, DataFrame(payload=b"a"), 0.0)
+        medium.start_transmission(2, 1e-3, DataFrame(payload=b"b"), 0.0)
+        assert len(medium.history) == 2

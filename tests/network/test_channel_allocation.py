@@ -1,0 +1,66 @@
+"""Unit tests of channel allocation across the sixteen 2450 MHz channels."""
+
+import numpy as np
+import pytest
+
+from repro.network.channel_allocation import ChannelAllocator, round_robin_allocation
+
+
+class TestChannelAllocator:
+    def test_round_robin_balances_1600_nodes(self):
+        allocator = ChannelAllocator()
+        allocator.allocate_round_robin(range(1, 1601))
+        populations = allocator.population_per_channel()
+        assert len(populations) == 16
+        assert all(count == 100 for count in populations.values())
+        assert allocator.balance_ratio() == pytest.approx(1.0)
+
+    def test_round_robin_wraps_channels(self):
+        allocator = ChannelAllocator(channels=[11, 12])
+        assignment = allocator.allocate_round_robin([1, 2, 3, 4])
+        assert assignment == {1: 11, 2: 12, 3: 11, 4: 12}
+
+    def test_nodes_on_channel(self):
+        allocator = ChannelAllocator(channels=[11, 12])
+        allocator.allocate_round_robin([1, 2, 3, 4, 5])
+        assert allocator.nodes_on_channel(11) == [1, 3, 5]
+        assert allocator.nodes_on_channel(12) == [2, 4]
+
+    def test_channel_of(self):
+        allocator = ChannelAllocator(channels=[11, 12])
+        allocator.allocate_round_robin([1, 2])
+        assert allocator.channel_of(1) == 11
+        assert allocator.channel_of(2) == 12
+
+    def test_random_allocation_roughly_balanced(self):
+        allocator = ChannelAllocator()
+        allocator.allocate_random(range(1, 1601), rng=np.random.default_rng(0))
+        populations = allocator.population_per_channel()
+        assert sum(populations.values()) == 1600
+        assert allocator.balance_ratio() < 2.0
+
+    def test_balance_ratio_with_empty_channel(self):
+        allocator = ChannelAllocator(channels=[11, 12, 13])
+        allocator.allocate_round_robin([1, 2])
+        assert allocator.balance_ratio() == float("inf")
+
+    def test_empty_allocator_is_balanced(self):
+        assert ChannelAllocator().balance_ratio() == pytest.approx(1.0)
+
+    def test_requires_at_least_one_channel(self):
+        with pytest.raises(ValueError):
+            ChannelAllocator(channels=[])
+
+
+class TestRoundRobinHelper:
+    def test_paper_configuration(self):
+        assignment = round_robin_allocation(1600)
+        assert len(assignment) == 1600
+        counts = {}
+        for channel in assignment.values():
+            counts[channel] = counts.get(channel, 0) + 1
+        assert set(counts.values()) == {100}
+
+    def test_custom_channels(self):
+        assignment = round_robin_allocation(4, channels=[20, 21])
+        assert set(assignment.values()) == {20, 21}

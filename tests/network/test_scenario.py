@@ -1,0 +1,98 @@
+"""Tests of the dense-network scenario assembly and channel simulation."""
+
+import math
+
+import pytest
+
+from repro.mac.superframe import SuperframeConfig
+from repro.network.node import SensorNode
+from repro.network.scenario import ChannelScenario, DenseNetworkScenario
+
+
+class TestDenseNetworkScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return DenseNetworkScenario(seed=1)
+
+    def test_population_and_channels(self, scenario):
+        nodes = scenario.build_nodes()
+        assert len(nodes) == 1600
+        assert scenario.nodes_per_channel == 100
+        channels = {node.channel for node in nodes}
+        assert len(channels) == 16
+        assert len(scenario.nodes_on_channel(11)) == 100
+
+    def test_path_losses_within_bounds(self, scenario):
+        nodes = scenario.build_nodes()
+        losses = [node.path_loss_db for node in nodes]
+        assert min(losses) >= 55.0
+        assert max(losses) <= 95.0
+
+    def test_build_nodes_is_cached(self, scenario):
+        assert scenario.build_nodes() is scenario.build_nodes()
+
+    def test_channel_load_matches_paper(self, scenario):
+        assert scenario.channel_load() == pytest.approx(0.44, abs=0.02)
+
+    def test_superframe_config(self, scenario):
+        config = scenario.superframe_config()
+        assert config.beacon_order == 6
+        assert config.beacon_interval_s == pytest.approx(0.98304)
+
+    def test_topology_view(self, scenario):
+        topology = scenario.topology()
+        assert topology.node_count == 1600
+        assert topology.all_within_range(95.0)
+
+    def test_assign_tx_powers(self):
+        scenario = DenseNetworkScenario(total_nodes=32, channels=[11, 12], seed=2)
+        scenario.assign_tx_powers(lambda loss: 0.0 if loss > 80.0 else -10.0)
+        for node in scenario.build_nodes():
+            assert node.tx_power_dbm in (0.0, -10.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DenseNetworkScenario(total_nodes=0)
+        with pytest.raises(ValueError):
+            DenseNetworkScenario(channels=[])
+
+    def test_channel_scenario_requires_populated_channel(self):
+        scenario = DenseNetworkScenario(total_nodes=4, channels=[11, 12], seed=3)
+        with pytest.raises(ValueError):
+            scenario.channel_scenario(channel=25)
+
+
+class TestChannelScenario:
+    def test_scaled_down_simulation_runs(self):
+        scenario = DenseNetworkScenario(total_nodes=64, channels=[11, 12],
+                                        beacon_order=3, seed=4)
+        channel = scenario.channel_scenario(11, max_nodes=6, payload_bytes=60)
+        summary = channel.run(superframes=4)
+        assert summary.node_count == 6
+        assert summary.packets_attempted > 0
+        assert 0.0 <= summary.failure_probability <= 1.0
+        assert summary.mean_node_power_w > 0.0
+        assert "transmit" in summary.energy_by_phase_j
+
+    def test_summary_counts_consistent(self):
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=65.0,
+                            tx_power_dbm=0.0) for i in range(1, 5)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        summary = ChannelScenario(nodes, config, payload_bytes=80,
+                                  seed=9).run(superframes=4)
+        assert summary.packets_delivered <= summary.packets_attempted
+        if summary.packets_attempted:
+            assert summary.failure_probability == pytest.approx(
+                1.0 - summary.packets_delivered / summary.packets_attempted)
+        assert not math.isnan(summary.mean_delivery_delay_s)
+
+    def test_empty_node_list_rejected(self):
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        with pytest.raises(ValueError):
+            ChannelScenario([], config)
+
+    def test_superframes_must_be_positive(self):
+        nodes = [SensorNode(node_id=1, channel=11, path_loss_db=65.0)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        with pytest.raises(ValueError):
+            ChannelScenario(nodes, config).run(superframes=0)

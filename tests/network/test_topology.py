@@ -1,0 +1,74 @@
+"""Unit tests of node placement and the star topology."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.network.topology import (
+    NodePlacement,
+    StarTopology,
+    uniform_disc_placement,
+)
+
+
+class TestNodePlacement:
+    def test_distance_and_angle(self):
+        placement = NodePlacement(node_id=1, x_m=3.0, y_m=4.0)
+        assert placement.distance_m == pytest.approx(5.0)
+        assert placement.angle_rad == pytest.approx(math.atan2(4.0, 3.0))
+
+
+class TestUniformDiscPlacement:
+    def test_count_and_ids(self, rng):
+        placements = uniform_disc_placement(100, radius_m=50.0, rng=rng)
+        assert len(placements) == 100
+        assert [p.node_id for p in placements] == list(range(1, 101))
+
+    def test_all_within_radius(self, rng):
+        placements = uniform_disc_placement(500, radius_m=30.0, rng=rng)
+        assert max(p.distance_m for p in placements) <= 30.0
+
+    def test_area_uniformity(self, rng):
+        # For uniform-area placement, the median distance is radius/sqrt(2).
+        placements = uniform_disc_placement(4000, radius_m=1.0, rng=rng)
+        median = np.median([p.distance_m for p in placements])
+        assert median == pytest.approx(1.0 / math.sqrt(2.0), abs=0.03)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            uniform_disc_placement(-1, 10.0, rng)
+        with pytest.raises(ValueError):
+            uniform_disc_placement(10, 0.0, rng)
+
+    def test_custom_first_node_id(self, rng):
+        placements = uniform_disc_placement(3, 10.0, rng, first_node_id=100)
+        assert [p.node_id for p in placements] == [100, 101, 102]
+
+
+class TestStarTopology:
+    def test_from_path_losses(self):
+        topology = StarTopology.from_path_losses([60.0, 70.0, 80.0])
+        assert topology.node_count == 3
+        assert topology.node_ids == [1, 2, 3]
+        assert topology.path_loss_db(2) == 70.0
+        assert np.allclose(topology.path_loss_array(), [60.0, 70.0, 80.0])
+
+    def test_from_placements_uses_path_loss_model(self, rng):
+        placements = uniform_disc_placement(20, radius_m=40.0, rng=rng)
+        topology = StarTopology.from_placements(
+            placements, path_loss_model=LogDistancePathLoss(
+                exponent=3.0, reference_loss_db=40.0))
+        assert topology.node_count == 20
+        # Farther nodes experience larger path loss.
+        losses = topology.path_losses_db
+        farthest = max(placements, key=lambda p: p.distance_m)
+        nearest = min(placements, key=lambda p: p.distance_m)
+        assert losses[farthest.node_id] > losses[nearest.node_id]
+
+    def test_nodes_within_range(self):
+        topology = StarTopology.from_path_losses([60.0, 94.0, 96.0])
+        assert topology.nodes_within_range(94.0) == [1, 2]
+        assert not topology.all_within_range(94.0)
+        assert topology.all_within_range(96.0)

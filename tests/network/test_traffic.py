@@ -1,0 +1,99 @@
+"""Unit tests of the traffic models (1 byte / 8 ms buffered to 120-byte packets)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.traffic import BufferedTrafficSource, PeriodicSensingTraffic
+
+
+class TestPeriodicSensingTraffic:
+    def test_paper_defaults(self):
+        traffic = PeriodicSensingTraffic()
+        assert traffic.data_rate_bps == pytest.approx(1000.0)
+        assert traffic.samples_per_packet == 120
+        assert traffic.packet_period_s == pytest.approx(0.960)
+
+    def test_packets_per_superframe_at_bo6(self):
+        traffic = PeriodicSensingTraffic()
+        assert traffic.packets_per_superframe(0.98304) == pytest.approx(1.024, rel=0.01)
+
+    def test_offered_load_matches_paper(self):
+        # 100 nodes x 133 bytes / 960 ms over 250 kbit/s ~= 0.44.
+        traffic = PeriodicSensingTraffic()
+        load = traffic.offered_load(nodes=100, channel_bit_rate_bps=250_000.0)
+        assert load == pytest.approx(0.44, abs=0.02)
+
+    def test_buffering_delay_is_half_packet_period(self):
+        assert PeriodicSensingTraffic().buffering_delay_s() == pytest.approx(0.48)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PeriodicSensingTraffic(sample_bytes=0)
+        with pytest.raises(ValueError):
+            PeriodicSensingTraffic(sampling_interval_s=0.0)
+        with pytest.raises(ValueError):
+            PeriodicSensingTraffic(sample_bytes=7, payload_bytes=120)
+
+    def test_invalid_queries(self):
+        traffic = PeriodicSensingTraffic()
+        with pytest.raises(ValueError):
+            traffic.packets_per_superframe(0.0)
+        with pytest.raises(ValueError):
+            traffic.offered_load(nodes=-1, channel_bit_rate_bps=250e3)
+        with pytest.raises(ValueError):
+            traffic.offered_load(nodes=1, channel_bit_rate_bps=0.0)
+
+
+class TestBufferedTrafficSource:
+    def test_no_packet_before_accumulation(self):
+        source = BufferedTrafficSource()
+        source.deposit_until(0.5)         # 62 samples of 1 byte
+        assert not source.packet_available()
+        assert source.buffered_bytes == 62
+
+    def test_packet_available_after_960_ms(self):
+        source = BufferedTrafficSource()
+        source.deposit_until(0.961)
+        assert source.packet_available()
+        assert source.drain_packet() == 120
+        assert source.buffered_bytes == 0
+        assert source.packets_drained == 1
+
+    def test_drain_without_packet_raises(self):
+        with pytest.raises(RuntimeError):
+            BufferedTrafficSource().drain_packet()
+
+    def test_time_cannot_move_backwards(self):
+        source = BufferedTrafficSource()
+        source.deposit_until(1.0)
+        with pytest.raises(ValueError):
+            source.deposit_until(0.5)
+
+    def test_incremental_deposits_equal_single_deposit(self):
+        incremental = BufferedTrafficSource()
+        for step in range(1, 11):
+            incremental.deposit_until(step * 0.1)
+        single = BufferedTrafficSource()
+        single.deposit_until(1.0)
+        assert incremental.buffered_bytes == single.buffered_bytes
+
+    def test_long_run_packet_rate(self):
+        source = BufferedTrafficSource()
+        source.deposit_until(9.601)
+        drained = 0
+        while source.packet_available():
+            source.drain_packet()
+            drained += 1
+        assert drained == 10
+
+    @settings(max_examples=30, deadline=None)
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=5.0),
+                          min_size=1, max_size=20))
+    def test_buffer_never_negative_and_consistent(self, times):
+        source = BufferedTrafficSource()
+        for time in sorted(times):
+            source.deposit_until(time)
+            assert source.buffered_bytes >= 0
+        expected_samples = int(sorted(times)[-1] // 8e-3)
+        assert source.buffered_bytes == expected_samples

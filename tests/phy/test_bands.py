@@ -1,0 +1,68 @@
+"""Unit tests of the frequency-band / channel catalogue."""
+
+import pytest
+
+from repro.phy.bands import (
+    Band,
+    CHANNEL_PAGES,
+    band_of_channel,
+    channel_center_frequency_hz,
+    channels_in_band,
+    timing_of_channel,
+)
+
+
+class TestChannelCatalogue:
+    def test_2450mhz_band_has_16_channels(self):
+        assert len(channels_in_band(Band.BAND_2450MHZ)) == 16
+
+    def test_915mhz_band_has_10_channels(self):
+        assert len(channels_in_band(Band.BAND_915MHZ)) == 10
+
+    def test_868mhz_band_has_1_channel(self):
+        assert channels_in_band(Band.BAND_868MHZ) == [0]
+
+    def test_total_channel_count_is_27(self):
+        total = sum(page.channel_count for page in CHANNEL_PAGES.values())
+        assert total == 27
+
+    def test_channel_numbers_of_2450mhz_are_11_to_26(self):
+        assert channels_in_band(Band.BAND_2450MHZ) == list(range(11, 27))
+
+
+class TestCenterFrequencies:
+    def test_channel_11_is_2405_mhz(self):
+        assert channel_center_frequency_hz(11) == pytest.approx(2405e6)
+
+    def test_channel_26_is_2480_mhz(self):
+        assert channel_center_frequency_hz(26) == pytest.approx(2480e6)
+
+    def test_channel_spacing_is_5_mhz_in_2450_band(self):
+        assert channel_center_frequency_hz(12) - channel_center_frequency_hz(11) \
+            == pytest.approx(5e6)
+
+    def test_channel_0_is_868_3_mhz(self):
+        assert channel_center_frequency_hz(0) == pytest.approx(868.3e6)
+
+    def test_channel_1_is_906_mhz(self):
+        assert channel_center_frequency_hz(1) == pytest.approx(906e6)
+
+    def test_out_of_band_channel_raises(self):
+        page = CHANNEL_PAGES[Band.BAND_2450MHZ]
+        with pytest.raises(ValueError):
+            page.center_frequency_hz(5)
+
+
+class TestBandLookup:
+    def test_band_of_channel(self):
+        assert band_of_channel(0) is Band.BAND_868MHZ
+        assert band_of_channel(5) is Band.BAND_915MHZ
+        assert band_of_channel(20) is Band.BAND_2450MHZ
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(ValueError):
+            band_of_channel(27)
+
+    def test_timing_of_channel_matches_band(self):
+        assert timing_of_channel(15).bit_rate_bps == pytest.approx(250_000.0)
+        assert timing_of_channel(3).bit_rate_bps == pytest.approx(40_000.0)

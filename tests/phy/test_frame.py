@@ -1,0 +1,91 @@
+"""Unit tests of PHY framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.constants import MAX_PHY_PACKET_SIZE_BYTES, TIMING_2450MHZ
+from repro.phy.frame import (
+    PHY_HEADER_BYTES,
+    PHY_PREAMBLE_BYTES,
+    PHY_SFD_BYTES,
+    PhyFrame,
+    frame_airtime_s,
+)
+
+
+class TestPhyFrameSizes:
+    def test_phy_header_is_6_bytes(self):
+        assert PHY_HEADER_BYTES == 6
+        assert PHY_PREAMBLE_BYTES == 4
+        assert PHY_SFD_BYTES == 1
+
+    def test_total_bytes(self):
+        frame = PhyFrame(psdu=bytes(100))
+        assert frame.total_bytes == 106
+        assert frame.psdu_length == 100
+        assert frame.synchronisation_bytes == 5
+
+    def test_oversized_psdu_rejected(self):
+        with pytest.raises(ValueError):
+            PhyFrame(psdu=bytes(MAX_PHY_PACKET_SIZE_BYTES + 1))
+
+    def test_airtime(self):
+        frame = PhyFrame(psdu=bytes(127))
+        assert frame.airtime_s == pytest.approx(133 * 32e-6)
+
+    def test_payload_airtime_excludes_synchronisation(self):
+        frame = PhyFrame(psdu=bytes(10))
+        assert frame.payload_airtime_s == pytest.approx((10 + 1) * 32e-6)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        frame = PhyFrame(psdu=b"hello world")
+        parsed = PhyFrame.from_bytes(frame.to_bytes())
+        assert parsed.psdu == b"hello world"
+
+    def test_bad_preamble_rejected(self):
+        raw = bytearray(PhyFrame(psdu=b"x").to_bytes())
+        raw[0] = 0xFF
+        with pytest.raises(ValueError):
+            PhyFrame.from_bytes(bytes(raw))
+
+    def test_bad_sfd_rejected(self):
+        raw = bytearray(PhyFrame(psdu=b"x").to_bytes())
+        raw[4] = 0x00
+        with pytest.raises(ValueError):
+            PhyFrame.from_bytes(bytes(raw))
+
+    def test_truncated_stream_rejected(self):
+        raw = PhyFrame(psdu=bytes(20)).to_bytes()[:-5]
+        with pytest.raises(ValueError):
+            PhyFrame.from_bytes(raw)
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            PhyFrame.from_bytes(b"\x00\x00")
+
+    @settings(max_examples=30, deadline=None)
+    @given(psdu=st.binary(min_size=0, max_size=127))
+    def test_roundtrip_property(self, psdu):
+        frame = PhyFrame(psdu=psdu)
+        assert PhyFrame.from_bytes(frame.to_bytes()).psdu == psdu
+
+
+class TestFrameAirtime:
+    def test_equation_3_form(self):
+        # T = (6 + PSDU) * T_B at the PHY level.
+        assert frame_airtime_s(120) == pytest.approx(126 * 32e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            frame_airtime_s(-1)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            frame_airtime_s(MAX_PHY_PACKET_SIZE_BYTES + 1)
+
+    def test_monotone_in_size(self):
+        airtimes = [frame_airtime_s(n) for n in range(0, 128, 8)]
+        assert all(b > a for a, b in zip(airtimes, airtimes[1:]))

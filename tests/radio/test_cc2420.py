@@ -1,0 +1,158 @@
+"""Unit tests of the stateful CC2420 model and its energy ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.cc2420 import CC2420Radio, EnergyLedger, RadioEvent
+from repro.radio.power_profile import CC2420_PROFILE
+from repro.radio.states import RadioState
+
+
+class TestEnergyLedger:
+    def test_empty_ledger(self):
+        ledger = EnergyLedger()
+        assert ledger.total_energy_j == 0.0
+        assert ledger.total_time_s == 0.0
+        assert ledger.events == []
+
+    def test_negative_charge_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(RadioEvent(0.0, 1.0, RadioState.IDLE, -1.0, "x", "dwell"))
+
+    def test_grouping_by_state_and_phase(self):
+        ledger = EnergyLedger()
+        ledger.charge(RadioEvent(0.0, 1.0, RadioState.RX, 2.0, "beacon", "dwell"))
+        ledger.charge(RadioEvent(1.0, 2.0, RadioState.TX, 3.0, "transmit", "dwell"))
+        ledger.charge(RadioEvent(3.0, 0.0, RadioState.RX, 0.5, "beacon", "transition"))
+        assert ledger.energy_by_state()[RadioState.RX] == pytest.approx(2.5)
+        assert ledger.energy_by_phase()["beacon"] == pytest.approx(2.5)
+        assert ledger.time_by_state()[RadioState.TX] == pytest.approx(2.0)
+        assert ledger.total_time_s == pytest.approx(3.0)  # transitions excluded
+
+    def test_average_power(self):
+        ledger = EnergyLedger()
+        ledger.charge(RadioEvent(0.0, 2.0, RadioState.IDLE, 4.0, "x", "dwell"))
+        assert ledger.average_power_w() == pytest.approx(2.0)
+        assert ledger.average_power_w(horizon_s=8.0) == pytest.approx(0.5)
+
+    def test_average_power_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().average_power_w(horizon_s=0.0)
+
+    def test_reset(self):
+        ledger = EnergyLedger()
+        ledger.charge(RadioEvent(0.0, 1.0, RadioState.IDLE, 1.0, "x", "dwell"))
+        ledger.reset()
+        assert ledger.total_energy_j == 0.0
+
+
+class TestCC2420Radio:
+    def test_initial_state(self):
+        radio = CC2420Radio()
+        assert radio.state is RadioState.SHUTDOWN
+        assert radio.time_s == 0.0
+
+    def test_wake_up_charges_transition(self):
+        radio = CC2420Radio()
+        delay = radio.wake_up()
+        assert radio.state is RadioState.IDLE
+        assert delay == pytest.approx(970e-6)
+        assert radio.ledger.total_energy_j == pytest.approx(691e-12)
+
+    def test_wake_up_when_not_shutdown_is_noop(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        assert radio.wake_up() == 0.0
+        assert radio.ledger.total_energy_j == 0.0
+
+    def test_dwell_charges_state_power(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        energy = radio.dwell(1e-3, phase="test")
+        assert energy == pytest.approx(712.8e-6 * 1e-3)
+        assert radio.time_s == pytest.approx(1e-3)
+
+    def test_negative_dwell_rejected(self):
+        with pytest.raises(ValueError):
+            CC2420Radio().dwell(-1.0)
+
+    def test_transition_decomposed_through_idle(self):
+        radio = CC2420Radio(initial_state=RadioState.RX)
+        radio.transition_to(RadioState.TX)
+        assert radio.state is RadioState.TX
+        # RX -> IDLE is free, IDLE -> TX charges the 194 us transient.
+        assert radio.ledger.total_energy_j == pytest.approx(
+            194e-6 * CC2420_PROFILE.tx_power_w(), rel=0.01)
+
+    def test_set_tx_level_rounds_up(self):
+        radio = CC2420Radio()
+        assert radio.set_tx_level(-12.0) == -10.0
+        assert radio.tx_level_dbm == -10.0
+
+    def test_transmit_composite(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        energy = radio.transmit(4e-3, level_dbm=0.0)
+        expected = (194e-6 + 4e-3) * CC2420_PROFILE.tx_power_w(0.0)
+        assert energy == pytest.approx(expected, rel=0.01)
+        assert radio.state is RadioState.IDLE
+
+    def test_transmit_at_lower_level_costs_less(self):
+        low = CC2420Radio(initial_state=RadioState.IDLE)
+        high = CC2420Radio(initial_state=RadioState.IDLE)
+        assert low.transmit(4e-3, level_dbm=-25.0) < high.transmit(4e-3, level_dbm=0.0)
+
+    def test_receive_composite(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        energy = radio.receive(1e-3)
+        assert energy == pytest.approx((194e-6 + 1e-3) * 35.28e-3, rel=0.01)
+
+    def test_cca_is_a_short_receive(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        energy = radio.clear_channel_assessment(128e-6)
+        assert energy == pytest.approx((194e-6 + 128e-6) * 35.28e-3, rel=0.01)
+        assert radio.ledger.energy_by_phase()["contention"] == pytest.approx(energy)
+
+    def test_sleep(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        radio.sleep(1.0)
+        assert radio.state is RadioState.SHUTDOWN
+        assert radio.ledger.energy_by_state()[RadioState.SHUTDOWN] == \
+            pytest.approx(144e-9)
+
+    def test_average_power_requires_elapsed_time(self):
+        with pytest.raises(ValueError):
+            CC2420Radio().average_power_w()
+
+    def test_full_transaction_average_power_plausible(self):
+        """A miniature version of the paper's transaction stays in the
+        hundreds-of-microwatt range when averaged over a superframe."""
+        radio = CC2420Radio()
+        radio.wake_up(phase="beacon")
+        radio.dwell(1e-3, phase="beacon")            # pre-beacon idle
+        radio.receive(1e-3, phase="beacon")          # beacon
+        radio.clear_channel_assessment(128e-6)       # 2 CCAs
+        radio.clear_channel_assessment(128e-6)
+        radio.transmit(4.256e-3, phase="transmit", level_dbm=-10.0)
+        radio.dwell(192e-6, phase="ackifs")          # t-ack in idle
+        radio.receive(352e-6, phase="ackifs")        # acknowledgement
+        radio.sleep(0.983 - radio.time_s)
+        power = radio.average_power_w(horizon_s=0.983)
+        assert 100e-6 < power < 400e-6
+
+    def test_reset(self):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        radio.dwell(1.0)
+        radio.reset()
+        assert radio.state is RadioState.SHUTDOWN
+        assert radio.time_s == 0.0
+        assert radio.ledger.total_energy_j == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(durations=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                              min_size=1, max_size=10))
+    def test_energy_never_negative_and_time_additive(self, durations):
+        radio = CC2420Radio(initial_state=RadioState.IDLE)
+        for duration in durations:
+            radio.dwell(duration)
+        assert radio.ledger.total_energy_j >= 0.0
+        assert radio.time_s == pytest.approx(sum(durations))

@@ -1,0 +1,287 @@
+"""Unit tests of the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_time_raises(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek_empty_queue_is_infinite(self):
+        assert Environment().peek() == float("inf")
+
+    def test_events_processed_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(3.0, "c"))
+        env.process(proc(1.0, "a"))
+        env.process(proc(2.0, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_processed_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_timeout_value_passed_to_process(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            value = yield env.timeout(2.0, value="payload")
+            seen.append(value)
+
+        env.process(proc())
+        env.run()
+        assert seen == ["payload"]
+        assert env.now == 2.0
+
+
+class TestEvent:
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_succeed_twice_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_process_waits_for_event(self):
+        env = Environment()
+        event = env.event()
+        results = []
+
+        def waiter():
+            value = yield event
+            results.append((env.now, value))
+
+        def trigger():
+            yield env.timeout(4.0)
+            event.succeed("done")
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert results == [(4.0, "done")]
+
+    def test_failed_event_raises_inside_process(self):
+        env = Environment()
+        event = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def trigger():
+            yield env.timeout(1.0)
+            event.fail(RuntimeError("boom"))
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_event_failure_propagates(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+
+class TestProcess:
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Process(env, lambda: None)
+
+    def test_process_return_value_via_run_until(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        result = env.run(until=env.process(proc()))
+        assert result == 42
+
+    def test_process_is_alive_until_done(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_waiting_on_another_process(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            result = yield env.process(child())
+            log.append((env.now, result))
+
+        env.process(parent())
+        env.run()
+        assert log == [(2.0, "child-result")]
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_inside_process_propagates(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            raise ValueError("inside")
+
+        env.process(proc())
+        with pytest.raises(ValueError, match="inside"):
+            env.run()
+
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        caught = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                caught.append((env.now, interrupt.cause))
+
+        def interrupter(target):
+            yield env.timeout(3.0)
+            target.interrupt(cause="wake up")
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        env.run()
+        assert caught == [(3.0, "wake up")]
+
+    def test_interrupt_terminated_process_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+
+class TestCompositeEvents:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+        times = []
+
+        def proc():
+            yield env.all_of([env.timeout(1.0), env.timeout(5.0), env.timeout(3.0)])
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [5.0]
+
+    def test_any_of_fires_on_first_event(self):
+        env = Environment()
+        times = []
+
+        def proc():
+            yield env.any_of([env.timeout(4.0), env.timeout(2.0)])
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [2.0]
+
+    def test_all_of_empty_collection_fires_immediately(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.all_of([])
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+    def test_run_until_event_that_never_fires_raises(self):
+        env = Environment()
+        pending = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=pending)

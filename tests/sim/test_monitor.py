@@ -1,0 +1,136 @@
+"""Unit tests of the statistics monitors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.monitor import CounterMonitor, Monitor, TimeWeightedMonitor
+
+
+class TestMonitor:
+    def test_empty_monitor_statistics_are_nan(self):
+        monitor = Monitor("empty")
+        assert monitor.count == 0
+        assert math.isnan(monitor.mean)
+        assert math.isnan(monitor.min)
+        assert math.isnan(monitor.max)
+        assert math.isnan(monitor.percentile(50))
+        assert monitor.total == 0.0
+
+    def test_basic_statistics(self):
+        monitor = Monitor()
+        monitor.extend([1.0, 2.0, 3.0, 4.0])
+        assert monitor.count == 4
+        assert monitor.mean == pytest.approx(2.5)
+        assert monitor.min == 1.0
+        assert monitor.max == 4.0
+        assert monitor.total == pytest.approx(10.0)
+        assert monitor.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_percentile(self):
+        monitor = Monitor()
+        monitor.extend(range(101))
+        assert monitor.percentile(50) == pytest.approx(50.0)
+        assert monitor.percentile(90) == pytest.approx(90.0)
+
+    def test_confidence_interval_contains_mean(self):
+        monitor = Monitor()
+        monitor.extend([10.0] * 50)
+        low, high = monitor.confidence_interval()
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(10.0)
+
+    def test_confidence_interval_single_sample_is_nan(self):
+        monitor = Monitor()
+        monitor.record(1.0)
+        low, high = monitor.confidence_interval()
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_reset(self):
+        monitor = Monitor()
+        monitor.record(1.0)
+        monitor.reset()
+        assert monitor.count == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                     allow_nan=False), min_size=1, max_size=50))
+    def test_mean_bounded_by_min_max(self, values):
+        monitor = Monitor()
+        monitor.extend(values)
+        assert monitor.min - 1e-9 <= monitor.mean <= monitor.max + 1e-9
+
+
+class TestTimeWeightedMonitor:
+    def test_time_average_of_constant_signal(self):
+        monitor = TimeWeightedMonitor()
+        monitor.record(0.0, 5.0)
+        monitor.finalize(10.0)
+        assert monitor.time_average == pytest.approx(5.0)
+        assert monitor.integral == pytest.approx(50.0)
+
+    def test_piecewise_constant_integration(self):
+        monitor = TimeWeightedMonitor(initial_value=1.0)
+        monitor.record(2.0, 3.0)      # 1.0 held for 2 s
+        monitor.record(4.0, 0.0)      # 3.0 held for 2 s
+        monitor.finalize(10.0)        # 0.0 held for 6 s
+        assert monitor.integral == pytest.approx(1.0 * 2 + 3.0 * 2)
+        assert monitor.duration == pytest.approx(10.0)
+        assert monitor.time_average == pytest.approx(8.0 / 10.0)
+
+    def test_out_of_order_time_rejected(self):
+        monitor = TimeWeightedMonitor(initial_time=5.0)
+        with pytest.raises(ValueError):
+            monitor.record(1.0, 0.0)
+
+    def test_min_max_tracking(self):
+        monitor = TimeWeightedMonitor(initial_value=2.0)
+        monitor.record(1.0, 7.0)
+        monitor.record(2.0, -1.0)
+        assert monitor.max == 7.0
+        assert monitor.min == -1.0
+
+    def test_zero_duration_average_is_nan(self):
+        assert math.isnan(TimeWeightedMonitor().time_average)
+
+    def test_current_value(self):
+        monitor = TimeWeightedMonitor()
+        monitor.record(1.0, 9.0)
+        assert monitor.current == 9.0
+
+
+class TestCounterMonitor:
+    def test_increment_and_get(self):
+        counters = CounterMonitor()
+        counters.increment("tx")
+        counters.increment("tx", 2)
+        assert counters.get("tx") == 3
+        assert counters["tx"] == 3
+
+    def test_unknown_counter_is_zero(self):
+        assert CounterMonitor().get("missing") == 0
+
+    def test_ratio(self):
+        counters = CounterMonitor()
+        counters.increment("collisions", 2)
+        counters.increment("transmissions", 8)
+        assert counters.ratio("collisions", "transmissions") == pytest.approx(0.25)
+
+    def test_ratio_with_zero_denominator_is_nan(self):
+        assert math.isnan(CounterMonitor().ratio("a", "b"))
+
+    def test_as_dict_is_a_copy(self):
+        counters = CounterMonitor()
+        counters.increment("x")
+        snapshot = counters.as_dict()
+        snapshot["x"] = 99
+        assert counters.get("x") == 1
+
+    def test_reset(self):
+        counters = CounterMonitor()
+        counters.increment("x", 5)
+        counters.reset()
+        assert counters.get("x") == 0

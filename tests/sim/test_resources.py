@@ -1,0 +1,105 @@
+"""Unit tests of the resource and store primitives."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_requests_granted_up_to_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.count == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_waiter(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        resource.release(first)
+        assert second.triggered
+        assert resource.count == 1
+
+    def test_release_unknown_request_raises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        foreign = Resource(env, capacity=1).request()
+        with pytest.raises(SimulationError):
+            resource.release(foreign)
+
+    def test_fifo_ordering_in_processes(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            request = resource.request()
+            yield request
+            order.append(f"{tag}-start")
+            yield env.timeout(hold)
+            resource.release(request)
+            order.append(f"{tag}-end")
+
+        env.process(user("a", 2.0))
+        env.process(user("b", 1.0))
+        env.run()
+        assert order == ["a-start", "a-end", "b-start", "b-end"]
+
+
+class TestStore:
+    def test_put_then_get_returns_item(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        event = store.get()
+        assert event.triggered
+        env.run()
+        assert event.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer():
+            yield env.timeout(3.0)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [(3.0, "late")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for value in (1, 2, 3):
+            store.put(value)
+        assert store.try_get() == 1
+        assert store.try_get() == 2
+        assert store.items == [3]
+
+    def test_try_get_empty_returns_none(self):
+        assert Store(Environment()).try_get() is None
+
+    def test_len_reflects_buffered_items(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put("x")
+        assert len(store) == 1
