@@ -1,0 +1,50 @@
+"""Engine bench — serial vs parallel sweep wall-clock and cache replay.
+
+Records how long the Figure 6 contention grid takes through the experiment
+engine with one worker, with ``min(4, cpu)`` workers, and replayed from the
+result cache, so the perf trajectory of the runner subsystem is tracked the
+same way as the figure benches.  The speedup is *recorded*, not asserted —
+on a single-core runner the process pool cannot win; what must always hold
+is row equality across strategies and a near-free cache replay.
+"""
+
+import os
+import time
+
+from repro.runner import run_experiment
+
+BENCH_PARAMS = {"loads": [0.1, 0.2, 0.3, 0.42, 0.6, 0.8],
+                "payload_sizes": [10, 20, 50, 100],
+                "num_windows": 8, "num_nodes": 100}
+
+
+def test_bench_runner_serial_vs_parallel(benchmark, tmp_path):
+    jobs = min(4, os.cpu_count() or 1)
+
+    start = time.perf_counter()
+    serial = run_experiment("fig6_csma", params=BENCH_PARAMS, jobs=1,
+                            cache=False, seed=2005)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_experiment("fig6_csma", params=BENCH_PARAMS, jobs=jobs,
+                              cache=False, seed=2005)
+    parallel_s = time.perf_counter() - start
+
+    # Cache replay: first run populates, the benchmarked run replays.
+    run_experiment("fig6_csma", params=BENCH_PARAMS, jobs=jobs,
+                   cache_root=tmp_path, seed=2005)
+    cached = benchmark.pedantic(
+        lambda: run_experiment("fig6_csma", params=BENCH_PARAMS, jobs=1,
+                               cache_root=tmp_path, seed=2005),
+        rounds=3, iterations=1)
+
+    print()
+    print(f"serial (1 job):      {serial_s:8.3f} s")
+    print(f"parallel ({jobs} jobs):   {parallel_s:8.3f} s "
+          f"(speedup x{serial_s / max(parallel_s, 1e-9):.2f})")
+    print(f"cache replay:        {cached.elapsed_s:8.5f} s "
+          f"(speedup x{serial_s / max(cached.elapsed_s, 1e-9):.0f})")
+
+    assert serial.rows == parallel.rows == cached.rows
+    assert cached.cache_hit

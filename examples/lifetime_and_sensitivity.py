@@ -13,6 +13,10 @@ loop with the library's analysis tools:
 3. print the sensitivity of the average power to the main model parameters
    (the tornado table designers use to decide where to spend effort).
 
+The model's contention characterisation comes from the experiment
+engine's on-disk cache (see ``python -m repro cache``), so only the first
+example run pays for the Monte-Carlo.
+
 Run with::
 
     python examples/lifetime_and_sensitivity.py

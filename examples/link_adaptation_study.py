@@ -8,6 +8,10 @@ Computes, for 120-byte packets at several network loads:
 * the switching thresholds between adjacent levels, and
 * the saving relative to always transmitting at 0 dBm.
 
+The energy-per-bit curves come from the engine's ``fig7_link`` experiment
+(equivalent CLI: ``python -m repro run fig7_link --jobs 2``); the switching
+thresholds and savings then use the policy API directly.
+
 Run with::
 
     python examples/link_adaptation_study.py
@@ -20,6 +24,7 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.core.link_adaptation import ChannelInversionPolicy
 from repro.experiments.common import default_model
+from repro.runner import run_experiment
 
 
 def main() -> None:
@@ -27,24 +32,25 @@ def main() -> None:
     loads = (0.2, 0.42, 0.6)
     grid = np.arange(50.0, 95.0, 5.0)
 
-    # ---- energy-per-bit curves -------------------------------------------------------
+    # ---- energy-per-bit curves (through the experiment engine) ------------------------
+    engine_run = run_experiment("fig7_link", params={"loads": list(loads)})
+    by_series = {}
+    for row in engine_run.rows:
+        by_series.setdefault(row["series"], []).append(row)
     rows = []
-    policies = {}
-    for load in loads:
-        policy = ChannelInversionPolicy(model, payload_bytes=120, load=load)
-        curve = policy.compute_curve(np.arange(45.0, 95.5, 1.0))
-        policies[load] = policy
-        for path_loss in grid:
-            index = int(np.argmin(np.abs(curve.path_loss_grid_db - path_loss)))
-            rows.append([
-                load, float(path_loss),
-                float(curve.optimal_level_dbm[index]),
-                float(curve.optimal_energy_per_bit_j[index]) * 1e9,
-            ])
+    for label, series_rows in by_series.items():
+        xs = np.array([row["x"] for row in series_rows])
+        for target in grid:  # nearest engine grid point to each display point
+            row = series_rows[int(np.argmin(np.abs(xs - target)))]
+            rows.append([label, row["x"], row["y"] * 1e9])
     print(format_table(
-        ["load", "path loss [dB]", "optimal level [dBm]", "energy/bit [nJ]"],
-        rows, title="Figure 7: optimal transmit power and energy per bit"))
+        ["load", "path loss [dB]", "energy/bit [nJ]"],
+        rows, title="Figure 7: optimal energy per bit "
+                    f"({'cache hit' if engine_run.cache_hit else 'computed'} "
+                    f"in {engine_run.elapsed_s:.2f} s)"))
     print()
+    policies = {load: ChannelInversionPolicy(model, payload_bytes=120, load=load)
+                for load in loads}
 
     # ---- thresholds ---------------------------------------------------------------------
     for load, policy in policies.items():

@@ -7,9 +7,12 @@ it against a from-scratch packet-level simulation of the beacon-enabled
 energy-aware activation policy) running on the library's discrete-event
 kernel.
 
-A scaled-down channel (fewer nodes, shorter superframe, same load) keeps the
-pure-Python simulation fast while exercising exactly the same protocol path
-as the paper's 100-node channels.
+The comparison goes through the experiment engine's ``model_vs_sim``
+registry entry, so each scaled-down scenario (fewer nodes, shorter
+superframe, same load) is cached after its first run.  The equivalent CLI
+for a single scenario::
+
+    python -m repro run model_vs_sim --param num_nodes=12
 
 Run with::
 
@@ -19,33 +22,30 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.experiments.validation import run_model_vs_simulation
+from repro.runner import run_experiment
 
 
 def main() -> None:
     configurations = [
-        dict(num_nodes=8, beacon_order=3, superframes=8, seed=11),
-        dict(num_nodes=12, beacon_order=3, superframes=8, seed=7),
-        dict(num_nodes=20, beacon_order=4, superframes=6, seed=3),
+        dict(num_nodes=8, beacon_order=3, superframes=8),
+        dict(num_nodes=12, beacon_order=3, superframes=8),
+        dict(num_nodes=20, beacon_order=4, superframes=6),
     ]
     rows = []
     for config in configurations:
-        result = run_model_vs_simulation(**config)
-        simulation = result.simulation
+        run = run_experiment("model_vs_sim", params=config)
+        source = "cache" if run.cache_hit else "computed"
         rows.append([
             config["num_nodes"],
             config["beacon_order"],
-            result.model_power_w * 1e6,
-            simulation.mean_node_power_w * 1e6,
-            simulation.failure_probability,
-            simulation.collisions,
-            simulation.packets_delivered,
+            run.payload["model_power_uw"],
+            run.payload["simulated_power_uw"],
+            run.payload["simulated_failure_probability"],
+            f"{run.elapsed_s:.2f}s [{source}]",
         ])
-        print(result.table)
-        print()
     print(format_table(
         ["nodes", "BO", "model power [uW]", "simulated power [uW]",
-         "simulated P_fail", "collisions", "packets delivered"],
+         "simulated P_fail", "runtime"],
         rows, title="Analytical model vs packet-level simulation"))
 
 

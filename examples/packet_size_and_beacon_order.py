@@ -9,6 +9,10 @@ paper's Section 5:
 2. Which beacon order fits one packet per node per superframe for the
    1 kbit/s sensing traffic?  (The answer is BO = 6.)
 
+The Figure 8 sweep goes through the engine's ``fig8_packet`` experiment
+(equivalent CLI: ``python -m repro run fig8_packet``); the beacon-order
+selection then uses the optimizer API directly.
+
 Run with::
 
     python examples/packet_size_and_beacon_order.py
@@ -20,27 +24,33 @@ from repro.analysis.tables import format_table
 from repro.core.optimizer import BeaconOrderSelector, PacketSizeOptimizer
 from repro.experiments.common import default_model
 from repro.network.traffic import PeriodicSensingTraffic
+from repro.runner import run_experiment
 
 
 def main() -> None:
     model = default_model()
 
-    # ---- Figure 8: energy per bit vs payload size -----------------------------------
-    optimizer = PacketSizeOptimizer(model, path_loss_db=75.0)
+    # ---- Figure 8: energy per bit vs payload size (through the engine) -----------
     loads = (0.2, 0.42, 0.6)
-    payloads = [5, 10, 20, 40, 60, 80, 100, 120, 123]
-    columns = {load: optimizer.sweep(load, payloads) for load in loads}
+    engine_run = run_experiment("fig8_packet", params={"loads": list(loads)})
+    by_series = {}
+    for row in engine_run.rows:
+        by_series.setdefault(row["series"], []).append(row)
+    payloads = [int(row["x"]) for row in next(iter(by_series.values()))]
     rows = []
     for index, payload in enumerate(payloads):
         row = [payload]
         for load in loads:
-            row.append(columns[load].points[index].energy_per_bit_j * 1e9)
+            row.append(by_series[f"load = {load:g}"][index]["y"] * 1e9)
         rows.append(row)
     print(format_table(
         ["payload [B]"] + [f"load {load:g} [nJ/bit]" for load in loads],
-        rows, title="Figure 8: energy per bit vs payload size"))
+        rows, title="Figure 8: energy per bit vs payload size "
+                    f"({'cache hit' if engine_run.cache_hit else 'computed'} "
+                    f"in {engine_run.elapsed_s:.2f} s)"))
+    optimizer = PacketSizeOptimizer(model, path_loss_db=75.0)
     for load in loads:
-        sweep = columns[load]
+        sweep = optimizer.sweep(load, payloads)
         print(f"  load {load:g}: optimum at {sweep.optimal_payload_bytes} bytes, "
               f"monotonically decreasing: {sweep.is_monotonically_decreasing(0.05)}")
     print()

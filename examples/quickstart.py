@@ -13,31 +13,27 @@ This example walks the public API end to end:
 Run with::
 
     python examples/quickstart.py
+
+Every paper figure is also one command away through the experiment engine
+(`python -m repro list` prints the catalogue)::
+
+    python -m repro run fig6_csma --jobs 2
+    python -m repro run case_study
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.contention.tables import build_contention_table
-from repro.contention.monte_carlo import ContentionSimulator
-from repro.core import EnergyModel
+from repro.experiments.common import default_model
+from repro.runner import run_experiment
 
 
 def main() -> None:
     # ---- 1. contention characterisation (Figure 6 machinery) --------------------
-    # A small table around the case-study operating point keeps the example
-    # fast; repro.contention.tables.default_contention_table() builds a wider
-    # grid for real experiments.
-    simulator = ContentionSimulator(num_nodes=100, seed=42)
-    table = build_contention_table(
-        loads=[0.2, 0.42, 0.6],
-        packet_sizes=[63, 133],
-        simulator=simulator,
-        num_windows=10,
-    )
-
-    # ---- 2. the analytical model --------------------------------------------------
-    model = EnergyModel(contention_source=table)
+    # default_model() builds the paper-grid Monte-Carlo characterisation and
+    # feeds it to the analytical model; the experiment engine's on-disk cache
+    # makes every run after the first near-instant.
+    model = default_model()
     budget = model.evaluate(
         payload_bytes=120,      # buffered sensor readings (the paper's choice)
         tx_power_dbm=-10.0,     # a mid-range CC2420 power level
@@ -79,6 +75,15 @@ def main() -> None:
         [[name, 100.0 * value / total] for name, value in shares.items()],
         title="Radio state occupancy",
     ))
+    print()
+
+    # ---- 4. the experiment engine ---------------------------------------------------
+    # The same registry the CLI uses is available programmatically; a second
+    # call with the same parameters and seed is served from the result cache.
+    run = run_experiment("fig3_radio")
+    print(f"Engine check — {run.spec.title}: {len(run.rows)} comparisons, "
+          f"{'cache hit' if run.cache_hit else 'computed'} "
+          f"in {run.elapsed_s:.3f} s")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,10 @@ The library is organised bottom-up:
   link adaptation, packet-size optimisation, breakdowns, improvements and
   the dense-network case study;
 * :mod:`repro.analysis` — tables, series, sweeps and reports;
-* :mod:`repro.experiments` — one driver per figure/table of the paper.
+* :mod:`repro.experiments` — one driver per figure/table of the paper;
+* :mod:`repro.runner` — the experiment engine: registry, process-pool
+  executors and a content-addressed result cache behind the
+  ``python -m repro`` CLI.
 
 Quick start
 -----------
@@ -27,6 +30,10 @@ Quick start
 >>> result = CaseStudy(model=model).run()      # Section 5 scenario
 >>> round(result.average_power_w * 1e6)        # ~211 uW in the paper
 217
+
+or, through the experiment engine (cached and parallelisable)::
+
+    $ python -m repro run case_study
 """
 
 from repro.core.case_study import CaseStudy, CaseStudyParameters, CaseStudyResult

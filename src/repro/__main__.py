@@ -1,0 +1,11 @@
+"""``python -m repro`` — the experiment engine CLI.
+
+See :mod:`repro.runner.cli` for commands and options.
+"""
+
+import sys
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

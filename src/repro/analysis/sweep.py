@@ -3,6 +3,14 @@
 The figure experiments all have the same shape: evaluate a function over a
 grid of one or two parameters and collect named outputs.  ``ParameterSweep``
 factors that pattern out so the experiment drivers stay declarative.
+
+Sweeps can run serially (the default) or fan their grid points out over a
+process pool by passing an executor strategy from
+:mod:`repro.runner.executor` to :meth:`ParameterSweep.run`.  Rows stream to
+an optional callback as grid points complete, while the returned
+:class:`SweepResult` always lists them in deterministic grid order —
+identical for the serial and parallel strategies as long as the swept
+function is deterministic in its arguments.
 """
 
 from __future__ import annotations
@@ -45,6 +53,16 @@ class SweepResult:
         return format_table(headers, rows, float_format=float_format, title=title)
 
 
+def _evaluate_sweep_point(task) -> Dict[str, Any]:
+    """Task function of a sweep grid point (module-level, so picklable).
+
+    ``task`` is a ``(function, kwargs)`` pair; for process execution the
+    swept function must itself be a picklable top-level callable.
+    """
+    function, kwargs = task
+    return dict(function(**kwargs))
+
+
 class ParameterSweep:
     """Evaluate a function over the cartesian product of parameter grids.
 
@@ -52,7 +70,9 @@ class ParameterSweep:
     ----------
     function:
         Called with one keyword argument per parameter; must return a mapping
-        of output name -> value.
+        of output name -> value.  For process-parallel runs it must be a
+        module-level (picklable) callable whose result only depends on its
+        arguments.
     parameters:
         Mapping parameter name -> iterable of values.
 
@@ -76,16 +96,58 @@ class ParameterSweep:
             if not values:
                 raise ValueError(f"Parameter {name!r} has an empty grid")
 
-    def run(self) -> SweepResult:
-        """Evaluate every combination and collect the results."""
+    def grid(self) -> List[Dict[str, Any]]:
+        """Every parameter combination, in deterministic grid order."""
         names = list(self.parameters)
         grids = [self.parameters[name] for name in names]
+        return [dict(zip(names, combination))
+                for combination in itertools.product(*grids)]
+
+    def run(self, executor=None,
+            on_row: Optional[Callable[[int, Dict[str, Any]], None]] = None
+            ) -> SweepResult:
+        """Evaluate every combination and collect the results.
+
+        Parameters
+        ----------
+        executor:
+            Execution strategy from :mod:`repro.runner.executor`; ``None``
+            evaluates in the calling process.  The returned rows are the
+            same for every strategy.
+        on_row:
+            Optional ``(grid_index, row)`` callback invoked as each point
+            completes (completion order under a parallel executor).
+
+        Returns
+        -------
+        SweepResult
+            One row per combination, in grid order regardless of executor.
+        """
+        names = list(self.parameters)
+        combinations = self.grid()
+        start = time.perf_counter()
+
+        if executor is None:
+            outputs_list: List[Dict[str, Any]] = []
+            for index, kwargs in enumerate(combinations):
+                outputs = dict(self.function(**kwargs))
+                outputs_list.append(outputs)
+                if on_row is not None:
+                    on_row(index, {**kwargs, **outputs})
+        else:
+            from repro.runner.executor import run_ordered
+
+            def stream(index: int, outputs: Dict[str, Any]) -> None:
+                if on_row is not None:
+                    on_row(index, {**combinations[index], **outputs})
+
+            tasks = [(self.function, kwargs) for kwargs in combinations]
+            outputs_list = run_ordered(executor, _evaluate_sweep_point, tasks,
+                                       on_result=stream)
+
         rows: List[Dict[str, Any]] = []
         output_names: List[str] = []
-        start = time.perf_counter()
-        for combination in itertools.product(*grids):
-            kwargs = dict(zip(names, combination))
-            outputs = dict(self.function(**kwargs))
+        for kwargs, outputs in zip(combinations, outputs_list):
             if not output_names:
                 output_names = list(outputs)
             row = dict(kwargs)

@@ -20,6 +20,12 @@ import numpy as np
 from repro.contention.monte_carlo import ContentionSimulator
 from repro.contention.statistics import ContentionStatistics
 
+#: The project's canonical master seed (the paper's publication year).
+#: ``repro.experiments.common.EXPERIMENT_SEED`` and
+#: ``repro.runner.engine.DEFAULT_SEED`` both alias this constant, so the
+#: seed is defined exactly once.
+PAPER_SEED = 2005
+
 
 class ContentionTable:
     """Interpolating lookup table of contention statistics.
@@ -121,23 +127,89 @@ class ContentionTable:
                 out.append(self._statistics[(i, j)])
         return out
 
+    def to_payload(self) -> Dict:
+        """A JSON-serialisable snapshot of the full table.
+
+        The inverse of :meth:`from_payload`; used by the experiment engine's
+        on-disk result cache so a characterisation survives across processes.
+        """
+        cells = []
+        for i in range(len(self.loads)):
+            for j in range(len(self.packet_sizes)):
+                stats = self._statistics[(i, j)]
+                cells.append({field: getattr(stats, field)
+                              for field in self._FIELDS}
+                             | {"load": stats.load,
+                                "packet_bytes": stats.packet_bytes,
+                                "samples": stats.samples})
+        return {"loads": list(self.loads),
+                "packet_sizes": list(self.packet_sizes),
+                "cells": cells}
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "ContentionTable":
+        """Rebuild a table from a :meth:`to_payload` snapshot."""
+        loads = payload["loads"]
+        packet_sizes = payload["packet_sizes"]
+        statistics: Dict[Tuple[int, int], ContentionStatistics] = {}
+        cells = iter(payload["cells"])
+        for i in range(len(loads)):
+            for j in range(len(packet_sizes)):
+                statistics[(i, j)] = ContentionStatistics(**next(cells))
+        return cls(loads, packet_sizes, statistics)
+
 
 def build_contention_table(loads: Sequence[float],
                            packet_sizes: Sequence[int],
                            simulator: Optional[ContentionSimulator] = None,
-                           num_windows: int = 30) -> ContentionTable:
+                           num_windows: int = 30,
+                           executor=None,
+                           seed: int = PAPER_SEED,
+                           num_nodes: int = 100) -> ContentionTable:
     """Characterise the full (load, packet size) grid by Monte-Carlo.
+
+    Two modes:
+
+    * **Shared-simulator (default, ``executor=None``)** — one simulator walks
+      the grid in order, drawing all windows from a single random stream.
+      This is the historical behaviour every seeded test relies on.
+    * **Executor (``executor`` given)** — each grid point is characterised by
+      its own simulator seeded via :func:`repro.sim.random.spawn_seeds`, so
+      the points are independent tasks that can run on a process pool.  The
+      table is bit-identical whether the executor is serial or parallel (the
+      ``simulator`` argument is ignored; pass ``seed``/``num_nodes`` instead).
 
     Parameters
     ----------
     loads / packet_sizes:
         Grid axes (ascending).
     simulator:
-        The Monte-Carlo simulator to use (a default 100-node simulator with
-        the paper's CSMA convention is created when omitted).
+        Shared-simulator mode only: the Monte-Carlo simulator to walk the
+        grid with (a default 100-node simulator with the paper's CSMA
+        convention is created when omitted).
     num_windows:
         Contention windows simulated per grid point.
+    executor:
+        A :mod:`repro.runner.executor` strategy enabling the per-point-seed
+        mode; ``None`` keeps the shared-simulator behaviour.
+    seed / num_nodes:
+        Executor mode only: master seed of the per-point seed family and
+        contending node count.
     """
+    if executor is not None:
+        from repro.contention.monte_carlo import characterize_grid
+
+        points = [(load, size) for load in loads for size in packet_sizes]
+        stats = characterize_grid(points, num_windows=num_windows,
+                                  num_nodes=num_nodes, seed=seed,
+                                  executor=executor,
+                                  stream_name="contention.table")
+        by_point = dict(zip(points, stats))
+        statistics = {(i, j): by_point[(load, size)]
+                      for i, load in enumerate(loads)
+                      for j, size in enumerate(packet_sizes)}
+        return ContentionTable(loads, packet_sizes, statistics)
+
     simulator = simulator or ContentionSimulator()
     return ContentionTable.from_callable(
         lambda load, size: simulator.characterize(load, size,
@@ -149,7 +221,7 @@ _DEFAULT_TABLE_CACHE: Dict[Tuple, ContentionTable] = {}
 
 
 def default_contention_table(num_windows: int = 20,
-                             seed: int = 2005) -> ContentionTable:
+                             seed: int = PAPER_SEED) -> ContentionTable:
     """A lazily built, cached characterisation table for common queries.
 
     The grid spans loads 0.05–0.9 and on-air packet sizes 20–133 bytes,

@@ -1,4 +1,21 @@
-"""Shared helpers of the experiment drivers."""
+"""Shared helpers of the experiment drivers.
+
+Every driver needs the Monte-Carlo contention characterisation and the
+analytical energy model built from it; this module provides both with two
+layers of caching:
+
+* an in-process ``lru_cache`` so repeated drivers in one run share the same
+  :class:`~repro.contention.tables.ContentionTable` object, and
+* the experiment engine's content-addressed on-disk cache (see
+  :mod:`repro.runner.cache`) so a *second process* — another example script,
+  a fresh CLI invocation — skips the Monte-Carlo entirely.
+
+The disk layer stores the exact table the in-process build would have
+produced (the shared-simulator characterisation, byte-identical numbers), so
+adding it changes nothing but the wall-clock.  Parallel table construction
+with per-point seeds lives in :func:`repro.runner.drivers.engine_contention_table`,
+which the registry drivers use instead.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +23,49 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.contention.monte_carlo import ContentionSimulator
-from repro.contention.tables import ContentionTable, build_contention_table
+from repro.contention.tables import (PAPER_SEED, ContentionTable,
+                                     build_contention_table)
 from repro.core.energy_model import EnergyModel, ModelConfig
 
 #: Seed used by every experiment so results are reproducible run to run.
-EXPERIMENT_SEED = 2005
+EXPERIMENT_SEED = PAPER_SEED
+
+#: Grid axes of the shared characterisation (covers every paper figure).
+TABLE_LOADS = (0.05, 0.1, 0.2, 0.3, 0.42, 0.5, 0.6, 0.75, 0.9)
+TABLE_SIZES = (20, 33, 63, 93, 113, 133)
+
+
+def _disk_cached_table(num_windows: int, seed: int) -> ContentionTable:
+    """Build the shared table, round-tripping it through the on-disk cache.
+
+    Cache problems (unwritable directory, corrupt artifact) silently fall
+    back to recomputing — the cache is an accelerator, never a dependency.
+    """
+    from repro.runner.cache import ResultCache
+
+    simulator = ContentionSimulator(seed=seed)
+    params = {"loads": list(TABLE_LOADS), "packet_sizes": list(TABLE_SIZES),
+              "num_windows": num_windows, "mode": "shared-simulator"}
+    try:
+        cache = ResultCache()
+        key = cache.key("fast_contention_table", params, seed)
+        stored = cache.load(key)
+        if stored is not None:
+            return ContentionTable.from_payload(stored["table"])
+    except OSError:
+        cache = None
+        key = None
+    table = build_contention_table(list(TABLE_LOADS), list(TABLE_SIZES),
+                                   simulator=simulator,
+                                   num_windows=num_windows)
+    if cache is not None:
+        try:
+            cache.store(key, {"experiment": "fast_contention_table",
+                              "params": params, "seed": seed,
+                              "table": table.to_payload()})
+        except OSError:
+            pass
+    return table
 
 
 @lru_cache(maxsize=4)
@@ -18,15 +73,23 @@ def fast_contention_table(num_windows: int = 15,
                           seed: int = EXPERIMENT_SEED) -> ContentionTable:
     """A cached Monte-Carlo characterisation table sized for quick experiments.
 
-    The grid covers every load / packet size the paper's figures need; the
-    number of windows trades accuracy against runtime (15 windows of 100
-    nodes give ±1–2 % on the probabilities, enough for the tolerance bands).
+    Parameters
+    ----------
+    num_windows:
+        Contention windows simulated per grid point; 15 windows of 100 nodes
+        give ±1–2 % on the probabilities, enough for the tolerance bands.
+    seed:
+        Master seed of the shared simulator walking the grid.
+
+    Returns
+    -------
+    ContentionTable
+        Statistics over every load / packet size the paper's figures need.
+        The same ``(num_windows, seed)`` returns the same object within a
+        process (``lru_cache``) and near-instantly across processes (the
+        engine's on-disk result cache).
     """
-    simulator = ContentionSimulator(seed=seed)
-    loads = [0.05, 0.1, 0.2, 0.3, 0.42, 0.5, 0.6, 0.75, 0.9]
-    sizes = [20, 33, 63, 93, 113, 133]
-    return build_contention_table(loads, sizes, simulator=simulator,
-                                  num_windows=num_windows)
+    return _disk_cached_table(num_windows, seed)
 
 
 def default_model(config: Optional[ModelConfig] = None,
@@ -34,8 +97,14 @@ def default_model(config: Optional[ModelConfig] = None,
                   seed: int = EXPERIMENT_SEED) -> EnergyModel:
     """The energy model every experiment starts from.
 
-    Uses the paper's CC2420 profile, activation policy and the cached
-    Monte-Carlo contention table.
+    Parameters
+    ----------
+    config:
+        Optional :class:`~repro.core.energy_model.ModelConfig` override;
+        ``None`` uses the paper's CC2420 profile and activation policy.
+    num_windows / seed:
+        Forwarded to :func:`fast_contention_table`, whose cached
+        characterisation drives the model's contention statistics.
     """
     return EnergyModel(config=config,
                        contention_source=fast_contention_table(num_windows, seed))

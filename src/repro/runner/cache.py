@@ -1,0 +1,198 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Every engine run is identified by the hash of everything that can change its
+output: the experiment name, the fully resolved parameters, the master seed
+and a *code version* token derived from the ``repro`` package sources.  The
+artifact stored under that key is plain JSON, so a cache hit replays the
+exact rows of the original run — and editing any module under
+``src/repro/`` silently invalidates every prior entry.
+
+Layout::
+
+    <root>/<key[:2]>/<key>.json
+
+with ``root`` resolved from (in order) the constructor argument, the
+``REPRO_CACHE_DIR`` environment variable, and the default
+``~/.cache/repro-bougard`` (falling back to ``.repro-cache`` in the working
+directory when no home directory is available).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_CODE_VERSION: Optional[str] = None
+
+
+def default_cache_root() -> Path:
+    """The cache directory used when none is given explicitly."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    try:
+        return Path.home() / ".cache" / "repro-bougard"
+    except (KeyError, RuntimeError):  # no resolvable home directory
+        return Path(".repro-cache")
+
+
+def code_version() -> str:
+    """A short token identifying the current ``repro`` source tree.
+
+    Computed as the SHA-256 over every ``*.py`` file of the installed
+    ``repro`` package (path-sorted, contents concatenated) plus the package
+    version string, so any source edit changes the token and therefore every
+    cache key.  The token is computed once per process.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        digest.update(repro.__version__.encode("utf-8"))
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def result_key(experiment: str, params: Mapping[str, Any], seed: Any,
+               version: Optional[str] = None) -> str:
+    """Cache key of one run: hash(experiment, params, seed, code version)."""
+    payload = {
+        "experiment": experiment,
+        "params": params,
+        "seed": seed,
+        "version": version if version is not None else code_version(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON artifact store.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on the first :meth:`store`.
+        ``None`` resolves via :func:`default_cache_root`.
+
+    Examples
+    --------
+    >>> cache = ResultCache(root="/tmp/doctest-repro-cache")
+    >>> key = cache.key("fig6_csma", {"num_windows": 2}, seed=1, version="abc")
+    >>> cache.load(key) is None
+    True
+    >>> _ = cache.store(key, {"rows": [1, 2, 3]})
+    >>> cache.load(key)["rows"]
+    [1, 2, 3]
+    >>> cache.clear()
+    1
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # -- keys ---------------------------------------------------------------------
+    def key(self, experiment: str, params: Mapping[str, Any], seed: Any,
+            version: Optional[str] = None) -> str:
+        """Cache key of one run — see :func:`result_key`."""
+        return result_key(experiment, params, seed, version)
+
+    def path_for(self, key: str) -> Path:
+        """Artifact path of ``key`` (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- round trip ---------------------------------------------------------------
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored artifact for ``key``, or ``None`` on a miss.
+
+        A corrupt artifact (interrupted write, manual edit) is treated as a
+        miss and removed so the caller recomputes it.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # read-only store: recompute without healing
+            return None
+
+    def store(self, key: str, artifact: Mapping[str, Any]) -> Path:
+        """Write ``artifact`` under ``key`` (atomically) and return its path.
+
+        The temporary name is per-process so concurrent writers of the same
+        key cannot tear each other's artifact; whichever ``os.replace`` runs
+        last wins with a complete file.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(f".{os.getpid()}.tmp")
+        temporary.write_text(json.dumps(artifact, indent=1, sort_keys=True),
+                             encoding="utf-8")
+        os.replace(temporary, path)
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        path = self.path_for(key)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    # -- maintenance --------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """All stored keys."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            removed += int(self.invalidate(key))
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultCache(root={str(self.root)!r})"
+
+
+class NullCache:
+    """Cache stand-in that never hits — the ``--no-cache`` strategy."""
+
+    root = None
+
+    def key(self, experiment: str, params: Mapping[str, Any], seed: Any,
+            version: Optional[str] = None) -> str:
+        """Compute the key as :class:`ResultCache` would (for logging)."""
+        return result_key(experiment, params, seed, version)
+
+    def load(self, key: str) -> None:
+        """Always a miss."""
+        return None
+
+    def store(self, key: str, artifact: Mapping[str, Any]) -> None:
+        """Drop the artifact."""
+        return None

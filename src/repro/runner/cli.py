@@ -1,0 +1,195 @@
+"""Command-line interface of the experiment engine.
+
+Usage (with ``src`` on ``PYTHONPATH`` or the package installed)::
+
+    python -m repro list                      # catalogue of experiments
+    python -m repro run fig6_csma --jobs 2    # run one experiment in parallel
+    python -m repro run case_study --no-cache # force a recomputation
+    python -m repro run fig6_csma --param num_windows=4
+    python -m repro cache                     # cache statistics
+    python -m repro cache --clear             # drop every artifact
+
+``run`` prints the result rows as an ASCII table plus, when the experiment
+produces one, the paper-vs-measured report; the exit status is 0 whenever
+the run completed (tolerance misses are reported, not fatal).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.runner.cache import ResultCache, code_version
+from repro.runner.engine import DEFAULT_SEED, run_experiment
+from repro.runner.registry import UnknownExperimentError, default_registry
+
+
+def _parse_param(text: str) -> "tuple[str, Any]":
+    """Parse one ``--param key=value`` override (value via literal_eval)."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"--param expects key=value, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # plain string value
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The engine's argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Experiment engine of the Bougard et al. (DATE 2005) "
+                    "reproduction: run any paper figure or case study, "
+                    "in parallel, with on-disk result caching.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="catalogue of registered experiments")
+    list_parser.add_argument("--verbose", action="store_true",
+                             help="include parameters and output columns")
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="registry name (see 'list')")
+    run_parser.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker processes (1 = serial; rows are "
+                                 "identical either way)")
+    run_parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                            help=f"master seed (default {DEFAULT_SEED})")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="neither read nor write the result cache")
+    run_parser.add_argument("--cache-dir", default=None,
+                            help="cache directory (default REPRO_CACHE_DIR "
+                                 "or ~/.cache/repro-bougard)")
+    run_parser.add_argument("--param", action="append", type=_parse_param,
+                            default=[], metavar="KEY=VALUE",
+                            help="override one experiment parameter "
+                                 "(repeatable; values are Python literals)")
+    run_parser.add_argument("--quiet", "-q", action="store_true",
+                            help="suppress the row table, print the summary "
+                                 "line only")
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the result cache")
+    cache_parser.add_argument("--cache-dir", default=None,
+                              help="cache directory to inspect")
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="remove every stored artifact")
+    return parser
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    registry = default_registry()
+    headers = ["name", "figure", "~runtime [s]", "parallel", "title"]
+    rows = [[spec.name, spec.figure, spec.expected_runtime_s,
+             "yes" if spec.supports_jobs else "-", spec.title]
+            for spec in registry]
+    print(format_table(headers, rows, title="Registered experiments"))
+    if arguments.verbose:
+        for spec in registry:
+            print(f"\n{spec.name}:")
+            print(f"  outputs: {', '.join(spec.output_names) or '-'}")
+            if spec.default_params:
+                for key, value in spec.default_params.items():
+                    print(f"  --param {key}={value!r}")
+            else:
+                print("  (no tunable parameters)")
+    return 0
+
+
+def _print_rows(rows: List[Dict[str, Any]], title: str) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0])
+    table_rows = [[row.get(header, "") for header in headers] for row in rows]
+    print(format_table(headers, table_rows, title=title))
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    overrides = dict(arguments.param)
+    try:
+        run = run_experiment(arguments.experiment,
+                             params=overrides,
+                             jobs=arguments.jobs,
+                             seed=arguments.seed,
+                             cache=not arguments.no_cache,
+                             cache_root=arguments.cache_dir)
+    except UnknownExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # Invalid parameter values (e.g. num_windows=0) surface as the
+        # model's own message rather than a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if not arguments.quiet:
+        _print_rows(run.rows, title=f"{run.spec.name} ({run.spec.figure})")
+        report = run.payload.get("report")
+        if report:
+            print()
+            _print_report(report)
+    source = "cache" if run.cache_hit else f"computed with {run.jobs} job(s)"
+    print(f"{run.spec.name}: {len(run.rows)} rows in {run.elapsed_s:.3f}s "
+          f"[{source}] seed={run.seed} key={run.cache_key[:12]}")
+    return 0
+
+
+def _print_report(report: Dict[str, Any]) -> None:
+    headers = ["quantity", "paper", "measured", "rel. error", "ok"]
+    rows = []
+    for row in report["rows"]:
+        error = row["relative_error"]
+        rows.append([
+            row["quantity"],
+            "-" if row["paper_value"] is None else row["paper_value"],
+            row["measured_value"],
+            "-" if error is None else f"{100 * error:+.1f}%",
+            {True: "yes", False: "NO", None: "-"}[row["within_tolerance"]],
+        ])
+    print(format_table(headers, rows,
+                       title=f"{report['experiment_id']}: {report['title']}"))
+    for note in report.get("notes", []):
+        print(f"  note: {note}")
+
+
+def _command_cache(arguments: argparse.Namespace) -> int:
+    cache = ResultCache(root=arguments.cache_dir)
+    if arguments.clear:
+        removed = cache.clear()
+        print(f"removed {removed} artifact(s) from {cache.root}")
+        return 0
+    keys = list(cache.keys())
+    print(f"cache root: {cache.root}")
+    print(f"artifacts:  {len(keys)}")
+    print(f"code version: {code_version()}")
+    for key in keys:
+        print(f"  {key}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro``; returns the exit status."""
+    arguments = build_parser().parse_args(argv)
+    handler = {"list": _command_list,
+               "run": _command_run,
+               "cache": _command_cache}[arguments.command]
+    try:
+        return handler(arguments)
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly like any
+        # well-behaved unix tool (129 = 128 + SIGPIPE convention).
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 129

@@ -1,0 +1,161 @@
+"""Top-level orchestration: resolve, cache-check, execute, store.
+
+:func:`run_experiment` is the single programmatic entry point of the
+experiment engine — the CLI (``python -m repro run``), the examples and the
+tests all go through it.  The flow for one run:
+
+1. resolve the experiment name against the registry and merge parameter
+   overrides into the spec's defaults;
+2. compute the content-addressed cache key (experiment, parameters, seed,
+   code version) and return the stored artifact on a hit;
+3. otherwise execute the spec's adapter with an executor sized from
+   ``jobs``, stamp the payload with its provenance, and store it.
+
+Determinism contract: for a fixed seed the payload rows are identical
+whatever ``jobs`` is, because every parallel task carries its own seed
+spawned from the master seed (see :func:`repro.sim.random.spawn_seeds`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.runner.cache import NullCache, ResultCache, code_version
+from repro.runner.executor import make_executor
+from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
+                                   RunContext, default_registry)
+
+from repro.contention.tables import PAPER_SEED
+
+#: Master seed every engine run defaults to (the paper's publication year,
+#: matching ``repro.experiments.common.EXPERIMENT_SEED``).
+DEFAULT_SEED = PAPER_SEED
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one :func:`run_experiment` call.
+
+    Attributes
+    ----------
+    spec:
+        The resolved registry entry.
+    params:
+        The fully resolved parameters the run used.
+    seed / jobs:
+        Master seed and worker count of the run.
+    cache_hit:
+        Whether the payload was served from the result cache.
+    cache_key:
+        Content hash identifying the artifact.
+    elapsed_s:
+        Wall-clock of this call (near zero on a hit).
+    payload:
+        The JSON-serialisable result; ``payload["rows"]`` is the row list.
+    """
+
+    spec: ExperimentSpec
+    params: Dict[str, Any]
+    seed: int
+    jobs: int
+    cache_hit: bool
+    cache_key: str
+    elapsed_s: float
+    payload: Dict[str, Any]
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """The result rows of the experiment."""
+        return self.payload["rows"]
+
+
+def resolve_cache(cache: Any = True,
+                  cache_root: Optional[str] = None):
+    """Normalise the ``cache`` argument of :func:`run_experiment`.
+
+    ``True`` builds the default on-disk cache (honouring ``cache_root`` and
+    the ``REPRO_CACHE_DIR`` environment variable), ``False``/``None`` a
+    :class:`NullCache`; an existing cache object is passed through.
+    """
+    if cache is True:
+        return ResultCache(root=cache_root)
+    if cache is False or cache is None:
+        return NullCache()
+    return cache
+
+
+def run_experiment(name: str,
+                   params: Optional[Mapping[str, Any]] = None,
+                   jobs: int = 1,
+                   seed: int = DEFAULT_SEED,
+                   cache: Any = True,
+                   cache_root: Optional[str] = None,
+                   registry: Optional[ExperimentRegistry] = None
+                   ) -> ExperimentRun:
+    """Run one registered experiment, consulting the result cache.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``python -m repro list`` prints them all).
+    params:
+        Overrides merged into the spec's ``default_params``; unknown keys
+        raise ``KeyError``.
+    jobs:
+        Worker processes; ``1`` runs serially, producing identical rows.
+    seed:
+        Master seed of the run (part of the cache key).
+    cache:
+        ``True`` (default on-disk cache), ``False`` (no caching), or a cache
+        object with ``key``/``load``/``store``.
+    cache_root:
+        Cache directory when ``cache`` is ``True``.
+    registry:
+        Registry to resolve ``name`` in; defaults to the full catalogue.
+
+    Returns
+    -------
+    ExperimentRun
+        Rows, provenance and cache diagnostics of the run.
+    """
+    registry = registry or default_registry()
+    jobs = max(1, jobs)
+    spec = registry.get(name)
+    resolved = spec.resolve_params(params)
+    cache_obj = resolve_cache(cache, cache_root)
+    key = cache_obj.key(spec.name, _canonical_params(resolved), seed)
+
+    start = time.perf_counter()
+    stored = cache_obj.load(key)
+    if stored is not None:
+        return ExperimentRun(spec=spec, params=resolved, seed=seed, jobs=jobs,
+                             cache_hit=True, cache_key=key,
+                             elapsed_s=time.perf_counter() - start,
+                             payload=stored["payload"])
+
+    context = RunContext(executor=make_executor(jobs), cache=cache_obj,
+                         seed=seed)
+    payload = spec.runner(resolved, context)
+    elapsed = time.perf_counter() - start
+    try:
+        cache_obj.store(key, {
+            "experiment": spec.name,
+            "params": _canonical_params(resolved),
+            "seed": seed,
+            "code_version": code_version(),
+            "elapsed_s": elapsed,
+            "payload": payload,
+        })
+    except OSError:
+        pass  # unwritable cache must not lose a finished computation
+    return ExperimentRun(spec=spec, params=resolved, seed=seed, jobs=jobs,
+                         cache_hit=False, cache_key=key, elapsed_s=elapsed,
+                         payload=payload)
+
+
+def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Parameters as they enter the cache key (JSON-safe, tuples as lists)."""
+    from repro.runner.drivers import jsonify
+    return jsonify(dict(params))

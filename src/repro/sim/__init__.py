@@ -41,7 +41,7 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.monitor import CounterMonitor, Monitor, TimeWeightedMonitor
-from repro.sim.random import RandomStreams
+from repro.sim.random import RandomStreams, spawn_seeds
 from repro.sim.resources import Resource, Store
 
 __all__ = [
@@ -55,6 +55,7 @@ __all__ = [
     "TimeWeightedMonitor",
     "CounterMonitor",
     "RandomStreams",
+    "spawn_seeds",
     "Resource",
     "Store",
 ]

@@ -25,6 +25,35 @@ def _name_to_entropy(name: str) -> int:
     return int.from_bytes(digest[:16], "little")
 
 
+def spawn_seeds(master_seed: Optional[int], name: str, count: int) -> "list[int]":
+    """Derive ``count`` independent integer seeds from ``(master_seed, name)``.
+
+    The seeds are children of the same named :class:`numpy.random.SeedSequence`
+    that :class:`RandomStreams` uses, so a task family (e.g. the Monte-Carlo
+    windows of one grid point) gets statistically independent generators that
+    are reproducible from the master seed alone.  Because the result is a list
+    of plain integers it can be shipped to worker processes without pickling
+    generator state, which is what the experiment engine's process-pool
+    executor relies on: task ``i`` receives ``seeds[i]`` regardless of which
+    worker executes it, making serial and parallel runs bit-identical.
+
+    Parameters
+    ----------
+    master_seed:
+        Seed of the family (``None`` draws unpredictable children).
+    name:
+        Stream name; distinct names yield unrelated seed families.
+    count:
+        Number of child seeds to derive.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    entropy = _name_to_entropy(name)
+    seed_seq = np.random.SeedSequence(entropy=master_seed, spawn_key=(entropy,))
+    return [int(child.generate_state(1, np.uint64)[0])
+            for child in seed_seq.spawn(count)]
+
+
 class RandomStreams:
     """A family of independently seeded :class:`numpy.random.Generator`.
 

@@ -3,6 +3,12 @@
 import pytest
 
 from repro.analysis.sweep import ParameterSweep
+from repro.runner.executor import ProcessExecutor, SerialExecutor
+
+
+def weighted_sum(a, b):
+    """Module-level sweep function so the process pool can pickle it."""
+    return {"sum": a + 10 * b, "product": a * b}
 
 
 class TestParameterSweep:
@@ -45,3 +51,38 @@ class TestParameterSweep:
     def test_elapsed_time_recorded(self):
         result = ParameterSweep(lambda a: {"x": a}, {"a": range(5)}).run()
         assert result.elapsed_s >= 0.0
+
+    def test_grid_enumerates_combinations_in_order(self):
+        sweep = ParameterSweep(weighted_sum, {"a": [1, 2], "b": [3]})
+        assert sweep.grid() == [{"a": 1, "b": 3}, {"a": 2, "b": 3}]
+
+
+class TestExecutorStrategies:
+    def test_serial_executor_matches_inline_run(self):
+        parameters = {"a": [1, 2, 3], "b": [10, 20]}
+        inline = ParameterSweep(weighted_sum, parameters).run()
+        explicit = ParameterSweep(weighted_sum, parameters).run(
+            executor=SerialExecutor())
+        assert explicit.rows == inline.rows
+        assert explicit.parameter_names == inline.parameter_names
+        assert explicit.output_names == inline.output_names
+
+    def test_process_executor_matches_serial_rows(self):
+        parameters = {"a": [1, 2, 3, 4], "b": [10, 20]}
+        serial = ParameterSweep(weighted_sum, parameters).run()
+        parallel = ParameterSweep(weighted_sum, parameters).run(
+            executor=ProcessExecutor(jobs=2))
+        assert parallel.rows == serial.rows
+
+    def test_rows_stream_to_callback(self):
+        streamed = []
+        result = ParameterSweep(weighted_sum, {"a": [1, 2], "b": [5]}).run(
+            on_row=lambda index, row: streamed.append((index, row)))
+        assert sorted(streamed) == list(enumerate(result.rows))
+
+    def test_rows_stream_under_executor(self):
+        streamed = {}
+        result = ParameterSweep(weighted_sum, {"a": [1, 2, 3], "b": [5]}).run(
+            executor=ProcessExecutor(jobs=2),
+            on_row=lambda index, row: streamed.update({index: row}))
+        assert [streamed[index] for index in range(3)] == result.rows

@@ -126,6 +126,64 @@ class TestCharacterize:
             ContentionSimulator().characterize(0.42, 133, num_windows=0)
 
 
+class TestCharacterizeGrid:
+    POINTS = [(0.2, 33), (0.42, 133), (0.8, 63)]
+
+    def test_serial_and_parallel_grids_are_identical(self):
+        from repro.contention.monte_carlo import characterize_grid
+        from repro.runner.executor import ProcessExecutor
+
+        serial = characterize_grid(self.POINTS, num_windows=2, num_nodes=25,
+                                   seed=3)
+        parallel = characterize_grid(self.POINTS, num_windows=2, num_nodes=25,
+                                     seed=3, executor=ProcessExecutor(jobs=2))
+        assert serial == parallel
+
+    def test_results_align_with_input_points(self):
+        from repro.contention.monte_carlo import characterize_grid
+
+        stats = characterize_grid(self.POINTS, num_windows=2, num_nodes=25,
+                                  seed=3)
+        assert [(s.load, s.packet_bytes) for s in stats] == \
+            [(load, size) for load, size in self.POINTS]
+
+    def test_points_are_independent_of_grid_shape(self):
+        # The same point with the same spawned seed index gives the same
+        # statistics whether characterised alone or within a larger grid.
+        from repro.contention.monte_carlo import characterize_grid
+
+        alone = characterize_grid([self.POINTS[0]], num_windows=2,
+                                  num_nodes=25, seed=3)
+        within = characterize_grid(self.POINTS, num_windows=2,
+                                   num_nodes=25, seed=3)
+        assert alone[0] == within[0]
+
+    def test_stream_names_decorrelate(self):
+        from repro.contention.monte_carlo import characterize_grid
+
+        a = characterize_grid([self.POINTS[0]], num_windows=2, num_nodes=25,
+                              seed=3, stream_name="grid-a")
+        b = characterize_grid([self.POINTS[0]], num_windows=2, num_nodes=25,
+                              seed=3, stream_name="grid-b")
+        assert a[0] != b[0]
+
+
+class TestWindowStatistics:
+    def test_matches_window_result_counters(self):
+        from repro.contention.monte_carlo import window_statistics
+
+        simulator = ContentionSimulator(num_nodes=40, seed=5)
+        window = simulator.simulate_window(packet_bytes=63, window_slots=800)
+        stats = window_statistics(window, load=0.5, packet_bytes=63,
+                                  slot_s=simulator.constants.unit_backoff_period_s)
+        assert stats.samples == len(window.attempts)
+        assert stats.channel_access_failure_probability == \
+            window.access_failures / len(window.attempts)
+        expected_pr_col = (window.collisions / window.transmissions
+                          if window.transmissions else 0.0)
+        assert stats.collision_probability == expected_pr_col
+
+
 class TestBatteryLifeExtensionBehaviour:
     def test_ble_mode_fails_more_in_dense_conditions(self):
         """The paper avoids battery-life extension in dense networks because

@@ -78,3 +78,35 @@ class TestBuildContentionTable:
         # Interpolated point lies between the grid values.
         mid = table.lookup(0.4, 63)
         assert low.mean_cca_count <= mid.mean_cca_count <= high.mean_cca_count
+
+    def test_executor_mode_is_jobs_invariant(self):
+        from repro.runner.executor import ProcessExecutor, SerialExecutor
+
+        serial = build_contention_table([0.2, 0.6], [33, 63], num_windows=2,
+                                        executor=SerialExecutor(), seed=9,
+                                        num_nodes=25)
+        parallel = build_contention_table([0.2, 0.6], [33, 63], num_windows=2,
+                                          executor=ProcessExecutor(jobs=2),
+                                          seed=9, num_nodes=25)
+        assert serial.grid_statistics() == parallel.grid_statistics()
+
+
+class TestPayloadRoundTrip:
+    def test_to_payload_from_payload(self):
+        simulator = ContentionSimulator(num_nodes=20, seed=7)
+        table = build_contention_table([0.2, 0.6], [33, 63],
+                                       simulator=simulator, num_windows=2)
+        clone = ContentionTable.from_payload(table.to_payload())
+        assert clone.loads == table.loads
+        assert clone.packet_sizes == table.packet_sizes
+        assert clone.grid_statistics() == table.grid_statistics()
+
+    def test_payload_survives_json(self):
+        import json
+
+        simulator = ContentionSimulator(num_nodes=20, seed=7)
+        table = build_contention_table([0.42], [133], simulator=simulator,
+                                       num_windows=2)
+        payload = json.loads(json.dumps(table.to_payload()))
+        clone = ContentionTable.from_payload(payload)
+        assert clone.grid_statistics() == table.grid_statistics()

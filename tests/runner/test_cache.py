@@ -1,0 +1,87 @@
+"""Tests of the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.runner.cache import (NullCache, ResultCache, canonical_json,
+                                code_version, result_key)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestKeys:
+    def test_deterministic(self):
+        a = result_key("fig6_csma", {"n": 3}, seed=1, version="v")
+        b = result_key("fig6_csma", {"n": 3}, seed=1, version="v")
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = result_key("fig6_csma", {"n": 3}, seed=1, version="v")
+        assert result_key("fig7_link", {"n": 3}, 1, "v") != base
+        assert result_key("fig6_csma", {"n": 4}, 1, "v") != base
+        assert result_key("fig6_csma", {"n": 3}, 2, "v") != base
+        assert result_key("fig6_csma", {"n": 3}, 1, "w") != base
+
+    def test_key_ignores_dict_order(self):
+        assert result_key("e", {"a": 1, "b": 2}, 0, "v") == \
+            result_key("e", {"b": 2, "a": 1}, 0, "v")
+
+    def test_default_version_is_code_version(self):
+        assert result_key("e", {}, 0) == result_key("e", {}, 0, code_version())
+
+    def test_code_version_is_stable_within_a_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, cache):
+        key = cache.key("demo", {"x": 1}, seed=0, version="v")
+        assert cache.load(key) is None
+        path = cache.store(key, {"rows": [{"a": 1.5}]})
+        assert path.is_file()
+        assert cache.load(key) == {"rows": [{"a": 1.5}]}
+
+    def test_invalidate(self, cache):
+        key = cache.key("demo", {}, 0, "v")
+        cache.store(key, {"rows": []})
+        assert cache.invalidate(key) is True
+        assert cache.load(key) is None
+        assert cache.invalidate(key) is False
+
+    def test_clear_and_len(self, cache):
+        for index in range(3):
+            cache.store(cache.key("demo", {"i": index}, 0, "v"), {"rows": []})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_corrupt_artifact_is_a_miss(self, cache):
+        key = cache.key("demo", {}, 0, "v")
+        path = cache.store(key, {"rows": []})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load(key) is None
+        assert not path.exists()  # removed so the caller recomputes
+
+    def test_artifact_is_plain_json(self, cache):
+        key = cache.key("demo", {}, 0, "v")
+        path = cache.store(key, {"rows": [{"value": 0.25}]})
+        assert json.loads(path.read_text())["rows"][0]["value"] == 0.25
+
+
+class TestNullCache:
+    def test_never_hits(self):
+        cache = NullCache()
+        key = cache.key("demo", {"x": 1}, 0, "v")
+        assert key == result_key("demo", {"x": 1}, 0, "v")
+        cache.store(key, {"rows": []})
+        assert cache.load(key) is None
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'

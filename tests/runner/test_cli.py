@@ -1,0 +1,91 @@
+"""Smoke tests of the ``python -m repro`` command line."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cli import build_parser, main
+
+TINY_ARGS = ["--param", "loads=[0.2, 0.6]", "--param", "payload_sizes=[20]",
+             "--param", "num_windows=2", "--param", "num_nodes=20"]
+
+
+class TestParser:
+    def test_run_defaults(self):
+        arguments = build_parser().parse_args(["run", "fig6_csma"])
+        assert arguments.experiment == "fig6_csma"
+        assert arguments.jobs == 1
+        assert not arguments.no_cache
+
+    def test_param_parsing(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig6_csma", "--param", "num_windows=4",
+             "--param", "loads=[0.1, 0.2]", "--param", "mode=fast"])
+        assert dict(arguments.param) == {"num_windows": 4,
+                                         "loads": [0.1, 0.2],
+                                         "mode": "fast"}
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig6_csma", "--param", "oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_csma" in out
+        assert "case_study" in out
+
+    def test_list_verbose_shows_params(self, capsys):
+        assert main(["list", "--verbose"]) == 0
+        assert "--param num_windows=" in capsys.readouterr().out
+
+    def test_run_and_cache_hit(self, tmp_path, capsys):
+        cache_args = ["--cache-dir", str(tmp_path)]
+        assert main(["run", "fig6_csma", "--jobs", "2", *TINY_ARGS,
+                     *cache_args]) == 0
+        first = capsys.readouterr().out
+        assert "computed with 2 job(s)" in first
+        assert main(["run", "fig6_csma", *TINY_ARGS, *cache_args]) == 0
+        second = capsys.readouterr().out
+        assert "[cache]" in second
+
+    def test_run_no_cache(self, tmp_path, capsys):
+        assert main(["run", "fig6_csma", "--no-cache", *TINY_ARGS]) == 0
+        assert "computed with 1 job(s)" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_with_suggestion(self, capsys):
+        assert main(["run", "fig6"]) == 2
+        err = capsys.readouterr().err
+        assert "Unknown experiment" in err
+        assert "fig6_csma" in err
+
+    def test_unknown_param_fails(self, capsys):
+        assert main(["run", "fig6_csma", "--no-cache",
+                     "--param", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_cache_inspect_and_clear(self, tmp_path, capsys):
+        assert main(["run", "fig6_csma", *TINY_ARGS,
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "artifacts:  1" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        """The acceptance command: ``python -m repro run fig6_csma --jobs 2``."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "fig6_csma", "--jobs", "2",
+             "--quiet", *TINY_ARGS, "--cache-dir", str(tmp_path)],
+            capture_output=True, text=True, timeout=300,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"})
+        assert completed.returncode == 0, completed.stderr
+        assert "fig6_csma" in completed.stdout

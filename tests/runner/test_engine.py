@@ -1,0 +1,104 @@
+"""End-to-end tests of the experiment engine.
+
+These cover the acceptance contract of the runner subsystem: serial and
+parallel runs of a registered experiment produce identical rows for a fixed
+seed, a second invocation is served from the result cache, and editing any
+input (parameters, seed, code version) invalidates the artifact.
+"""
+
+import pytest
+
+from repro.runner import ResultCache, run_experiment
+from repro.runner.cache import result_key
+
+#: Deliberately tiny fig6 grid so the Monte-Carlo stays fast in CI.
+TINY_FIG6 = {"loads": [0.2, 0.6], "payload_sizes": [20, 100],
+             "num_windows": 2, "num_nodes": 30}
+
+
+class TestSerialParallelEquivalence:
+    def test_fig6_rows_identical(self):
+        serial = run_experiment("fig6_csma", params=TINY_FIG6, jobs=1,
+                                cache=False, seed=11)
+        parallel = run_experiment("fig6_csma", params=TINY_FIG6, jobs=2,
+                                  cache=False, seed=11)
+        assert serial.rows == parallel.rows
+        assert len(serial.rows) == 4  # 2 loads x 2 payloads
+
+    def test_contention_table_rows_identical(self):
+        params = {"num_windows": 2, "num_nodes": 20}
+        serial = run_experiment("contention_table", params=params, jobs=1,
+                                cache=False, seed=5)
+        parallel = run_experiment("contention_table", params=params, jobs=3,
+                                  cache=False, seed=5)
+        assert serial.rows == parallel.rows
+
+    def test_different_seeds_differ(self):
+        a = run_experiment("fig6_csma", params=TINY_FIG6, cache=False, seed=1)
+        b = run_experiment("fig6_csma", params=TINY_FIG6, cache=False, seed=2)
+        assert a.rows != b.rows
+
+
+class TestResultCacheIntegration:
+    def test_second_invocation_is_a_hit_with_identical_rows(self, tmp_path):
+        first = run_experiment("fig6_csma", params=TINY_FIG6, jobs=2,
+                               cache_root=tmp_path, seed=11)
+        second = run_experiment("fig6_csma", params=TINY_FIG6, jobs=1,
+                                cache_root=tmp_path, seed=11)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.rows == first.rows
+        assert second.cache_key == first.cache_key
+
+    def test_param_change_misses(self, tmp_path):
+        run_experiment("fig6_csma", params=TINY_FIG6, cache_root=tmp_path,
+                       seed=11)
+        changed = dict(TINY_FIG6, num_windows=3)
+        rerun = run_experiment("fig6_csma", params=changed,
+                               cache_root=tmp_path, seed=11)
+        assert not rerun.cache_hit
+
+    def test_seed_change_misses(self, tmp_path):
+        run_experiment("fig6_csma", params=TINY_FIG6, cache_root=tmp_path,
+                       seed=11)
+        rerun = run_experiment("fig6_csma", params=TINY_FIG6,
+                               cache_root=tmp_path, seed=12)
+        assert not rerun.cache_hit
+
+    def test_invalidation_forces_recompute(self, tmp_path):
+        first = run_experiment("fig6_csma", params=TINY_FIG6,
+                               cache_root=tmp_path, seed=11)
+        cache = ResultCache(root=tmp_path)
+        assert cache.invalidate(first.cache_key)
+        rerun = run_experiment("fig6_csma", params=TINY_FIG6,
+                               cache_root=tmp_path, seed=11)
+        assert not rerun.cache_hit
+        assert rerun.rows == first.rows
+
+    def test_code_version_participates_in_the_key(self):
+        params = {"loads": [0.2], "payload_sizes": [20],
+                  "num_windows": 1, "num_nodes": 10}
+        assert result_key("fig6_csma", params, 0, "version-a") != \
+            result_key("fig6_csma", params, 0, "version-b")
+
+    def test_no_cache_runs_never_store(self, tmp_path):
+        run = run_experiment("fig6_csma", params=TINY_FIG6, cache=False,
+                             seed=11)
+        assert not run.cache_hit
+        assert len(ResultCache(root=tmp_path)) == 0
+
+
+class TestPayloadShape:
+    def test_fig6_payload_is_json_rows(self, tmp_path):
+        run = run_experiment("fig6_csma", params=TINY_FIG6,
+                             cache_root=tmp_path, seed=11)
+        for row in run.rows:
+            assert set(row) == {"payload_bytes", "load", "on_air_bytes",
+                                "t_cont_s", "n_cca", "pr_col", "pr_cf"}
+            assert 0.0 <= row["pr_cf"] <= 1.0
+        report = run.payload["report"]
+        assert report["experiment_id"] == "EXP-F6"
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(KeyError, match="no parameter"):
+            run_experiment("fig6_csma", params={"bogus": 1}, cache=False)

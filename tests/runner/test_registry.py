@@ -1,0 +1,74 @@
+"""Tests of the experiment registry and spec resolution."""
+
+import pytest
+
+from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
+                                   UnknownExperimentError, default_registry)
+
+
+def _spec(name="demo", **overrides):
+    defaults = dict(name=name, title="demo experiment", figure="Fig. 0",
+                    runner=lambda params, context: {"rows": []})
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ExperimentRegistry()
+        spec = registry.register(_spec())
+        assert registry.get("demo") is spec
+        assert "demo" in registry
+        assert registry.names() == ("demo",)
+
+    def test_duplicate_name_rejected(self):
+        registry = ExperimentRegistry()
+        registry.register(_spec())
+        with pytest.raises(ValueError):
+            registry.register(_spec())
+
+    def test_unknown_experiment_error_lists_names_and_suggests(self):
+        registry = ExperimentRegistry()
+        registry.register(_spec("fig6_csma"))
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            registry.get("fig6")
+        message = str(excinfo.value)
+        assert "fig6_csma" in message
+        assert "Did you mean" in message
+
+    def test_iteration_is_sorted(self):
+        registry = ExperimentRegistry()
+        registry.register(_spec("beta"))
+        registry.register(_spec("alpha"))
+        assert [spec.name for spec in registry] == ["alpha", "beta"]
+
+
+class TestResolveParams:
+    def test_defaults_and_overrides(self):
+        spec = _spec(default_params={"a": 1, "b": 2})
+        assert spec.resolve_params() == {"a": 1, "b": 2}
+        assert spec.resolve_params({"b": 7}) == {"a": 1, "b": 7}
+
+    def test_unknown_parameter_rejected(self):
+        spec = _spec(default_params={"a": 1})
+        with pytest.raises(KeyError, match="no parameter 'nope'"):
+            spec.resolve_params({"nope": 3})
+
+
+class TestDefaultRegistry:
+    def test_contains_every_paper_experiment(self):
+        names = default_registry().names()
+        for expected in ("fig3_radio", "fig4_ber", "fig6_csma", "fig7_link",
+                         "fig8_packet", "fig9_breakdown", "case_study",
+                         "improvements", "model_vs_sim", "contention_table"):
+            assert expected in names
+
+    def test_specs_are_documented(self):
+        for spec in default_registry():
+            assert spec.title
+            assert spec.figure
+            assert spec.expected_runtime_s > 0
+            assert spec.output_names
+
+    def test_is_built_once(self):
+        assert default_registry() is default_registry()

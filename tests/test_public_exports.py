@@ -49,6 +49,11 @@ PUBLIC_SURFACE = {
                           "run_fig8_packet_size", "run_fig9_breakdown",
                           "run_case_study", "run_improvements",
                           "run_model_vs_simulation", "default_model"],
+    "repro.runner": ["run_experiment", "ExperimentRun", "ExperimentSpec",
+                     "ExperimentRegistry", "UnknownExperimentError",
+                     "default_registry", "SerialExecutor", "ProcessExecutor",
+                     "make_executor", "run_ordered", "ResultCache",
+                     "NullCache", "code_version", "DEFAULT_SEED"],
 }
 
 
