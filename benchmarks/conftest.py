@@ -3,15 +3,25 @@
 The benches regenerate every table and figure of the paper.  The Monte-Carlo
 contention characterisation and the energy model are built once per session
 (they are inputs to the benchmarks, not the thing being measured).
+
+Setting the ``REPRO_BENCH_QUICK`` environment variable shrinks the shared
+characterisation (fewer Monte-Carlo windows) so CI can smoke-run the whole
+benchmark suite in a couple of minutes; the grid axes stay identical, only
+the per-point statistics get noisier.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.contention.monte_carlo import ContentionSimulator
 from repro.contention.tables import build_contention_table
 from repro.core.energy_model import EnergyModel
+
+#: Quick-mode switch honoured by the session fixtures and the heavy benches.
+BENCH_QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 
 @pytest.fixture(scope="session")
@@ -22,7 +32,7 @@ def bench_contention_table():
         loads=[0.05, 0.1, 0.2, 0.3, 0.42, 0.5, 0.6, 0.75, 0.9],
         packet_sizes=[20, 33, 63, 93, 113, 133],
         simulator=simulator,
-        num_windows=20,
+        num_windows=4 if BENCH_QUICK else 20,
     )
 
 

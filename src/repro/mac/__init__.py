@@ -44,6 +44,7 @@ from repro.mac.frames import (
 from repro.mac.gts import GtsDescriptor, GtsManager
 from repro.mac.indirect import IndirectQueue, PendingTransaction
 from repro.mac.superframe import Superframe, SuperframeConfig
+from repro.mac.vectorized import VectorizedChannelSimulator
 
 __all__ = [
     "AssociationService",
@@ -70,4 +71,5 @@ __all__ = [
     "PendingTransaction",
     "Superframe",
     "SuperframeConfig",
+    "VectorizedChannelSimulator",
 ]

@@ -1,0 +1,461 @@
+"""Vectorized slot-level fast path for the packet-level channel simulation.
+
+The event-driven kernel (:mod:`repro.mac.device` on :mod:`repro.sim.engine`)
+spends most of its time on generator resumes, event objects and per-charge
+ledger records — fine for a 10-node validation channel, prohibitive for the
+paper's full 100-nodes-per-channel case study.  This module simulates the
+same uplink protocol with
+
+* per-device MAC state (backoff exponent ``BE``, backoff stage ``NB``,
+  contention window ``CW``, attempt counter, next-beacon clock) held in
+  lockstep arrays advanced superframe by superframe,
+* a single compact event queue carrying only the two interaction points
+  where devices can observe each other — clear-channel-assessment samples
+  and data-frame completions — while every deterministic stretch in between
+  (sleep, wake-up, beacon reception, stagger, backoff waits) is accounted in
+  per-device counters without materialising events, and
+* the whole radio energy ledger deferred to one numpy reduction at the end:
+  each charge class (CCA, transmission, acknowledgement wait, ...) has a
+  fixed energy/duration, so per-device counts and dwell-time sums reproduce
+  the :class:`repro.radio.cc2420.EnergyLedger` totals exactly.
+
+Equivalence contract
+--------------------
+For the same scenario and master seed the fast path consumes the *same
+named random streams in the same order* as the event-driven kernel
+(``device[<id>]`` for stagger and backoff draws, ``coordinator`` for packet
+corruption draws, see :class:`repro.sim.random.RandomStreams`) and applies
+the same timing rules (CCA sampled at the end of its slot, deferral checks
+against the contention access period, the ``run(until=horizon)`` event
+cut-off).  Delivery / failure / attempt counts are therefore *identical* to
+the event kernel's, and energies agree to float-summation-order precision.
+This is asserted by the cross-validation tests in
+``tests/mac/test_vectorized.py``.
+
+Scope: the uplink transaction cycle of the paper's activation policy
+(Figure 5) with staggered transaction starts — the configuration
+:class:`repro.network.scenario.ChannelScenario` uses.  Downlink (indirect
+transmission) and GTS traffic are not modelled on the fast path; scenarios
+needing them must use the event-driven backend.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mac.constants import MAC_2450MHZ, MacConstants
+from repro.mac.csma import CsmaParameters
+from repro.mac.device import (PHASE_ACK, PHASE_BEACON, PHASE_CONTENTION,
+                              PHASE_SLEEP, PHASE_TRANSMIT)
+from repro.mac.frames import AckFrame, BeaconFrame, DataFrame
+from repro.mac.superframe import SuperframeConfig
+from repro.radio.power_profile import (CC2420_PROFILE, RadioPowerProfile,
+                                       T_SHUTDOWN_TO_IDLE_POLICY_S)
+from repro.radio.states import RadioState
+from repro.sim.random import RandomStreams
+
+#: Event kinds of the compact queue (only device-interaction points).
+_EVENT_CCA_SAMPLE = 0
+_EVENT_TX_END = 1
+
+
+class VectorizedChannelSimulator:
+    """Fast uplink simulation of one channel of the beacon-enabled star network.
+
+    Parameters
+    ----------
+    nodes:
+        The sensor nodes of the channel (``repro.network.node.SensorNode``).
+    config:
+        Superframe configuration (no GTS allocation).
+    tx_levels_dbm:
+        Resolved transmit level per node, aligned with ``nodes``.  The
+        caller (:class:`repro.network.scenario.ChannelScenario`) performs the
+        link-adaptation / default resolution; this backend only rounds to
+        the radio's programmable steps exactly as the event kernel does.
+    constants / payload_bytes / seed / csma_params / profile:
+        As in :class:`repro.network.scenario.ChannelScenario`.
+    """
+
+    def __init__(self, nodes: Sequence, config: SuperframeConfig,
+                 tx_levels_dbm: Sequence[float],
+                 constants: MacConstants = MAC_2450MHZ,
+                 payload_bytes: int = 120, seed: int = 0,
+                 csma_params: Optional[CsmaParameters] = None,
+                 profile: RadioPowerProfile = CC2420_PROFILE):
+        if not nodes:
+            raise ValueError("A channel simulation needs at least one node")
+        if len(tx_levels_dbm) != len(nodes):
+            raise ValueError("One transmit level per node is required")
+        self.nodes = list(nodes)
+        self.config = config
+        self.constants = constants
+        self.payload_bytes = payload_bytes
+        self.seed = seed
+        self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
+        self.profile = profile
+        self.tx_levels_dbm = [float(level) for level in tx_levels_dbm]
+
+    # -- derived scenario constants --------------------------------------------------
+    def _beacon_airtime_s(self) -> float:
+        beacon = BeaconFrame(source=0, sequence_number=1,
+                             beacon_order=self.config.beacon_order,
+                             superframe_order=self.config.superframe_order,
+                             gts_descriptors=0,
+                             pending_short_addresses=())
+        return beacon.airtime_s(self.constants.timing.byte_period_s)
+
+    def _data_frame(self) -> DataFrame:
+        return DataFrame(source=1, destination=0, sequence_number=1,
+                         ack_request=True, payload=bytes(self.payload_bytes))
+
+    def run(self, superframes: int = 10):
+        """Simulate ``superframes`` beacon intervals; same summary as the kernel."""
+        from repro.network.scenario import SimulationSummary
+
+        if superframes < 1:
+            raise ValueError("superframes must be at least 1")
+        constants = self.constants
+        params = self.csma_params
+        profile = self.profile
+        n = len(self.nodes)
+
+        # ---- timing constants (all in seconds) ---------------------------------
+        slot = constants.unit_backoff_period_s
+        byte_period = constants.timing.byte_period_s
+        interval = self.config.beacon_interval_s
+        sf_duration = self.config.superframe_duration_s
+        beacon_air = self._beacon_airtime_s()
+        frame = self._data_frame()
+        frame_air = frame.airtime_s(byte_period)
+        ack_air = AckFrame().airtime_s(byte_period)
+        turnaround = constants.turnaround_time_s
+        ack_wait = constants.ack_wait_duration_s
+        residual = max(0.0, ack_wait - turnaround)
+        wake_lead = T_SHUTDOWN_TO_IDLE_POLICY_S
+        margin = 56 * slot + frame_air + ack_wait
+        txn_tail = frame_air + turnaround + ack_air
+        horizon = superframes * interval
+        max_transmissions = constants.max_transmissions
+        max_backoffs = params.max_csma_backoffs
+        contention_window = params.contention_window
+        be0 = params.initial_backoff_exponent()
+        be_cap = params.max_be
+        if params.battery_life_extension:
+            be_cap = min(be_cap, params.battery_life_extension_max_be)
+
+        # ---- random streams (identical names to the event kernel) -------------
+        streams = RandomStreams(self.seed)
+        coordinator_rng = streams.get("coordinator")
+        generators = [streams.get(f"device[{node.node_id}]")
+                      for node in self.nodes]
+
+        # ---- per-device link/corruption constants -----------------------------
+        programmed_dbm = [profile.tx_level(level).level_dbm
+                          for level in self.tx_levels_dbm]
+        packet_error = [node.link().packet_error_probability(level, frame.ppdu_bytes)
+                        for node, level in zip(self.nodes, programmed_dbm)]
+
+        # ---- lockstep device state ---------------------------------------------
+        next_beacon = [0.0] * n        # beacon the device will synchronise to
+        beacon_time = [0.0] * n        # beacon anchoring the running transaction
+        cfp_start = [0.0] * n          # end of the CAP of that superframe
+        attempt = [0] * n              # transmissions already spent this packet
+        be = [be0] * n                 # backoff exponent
+        nb = [0] * n                   # backoff stages used this attempt
+        cw = [0] * n                   # remaining clear CCAs before transmit
+
+        # ---- deferred-ledger accumulators --------------------------------------
+        sleep_t = [0.0] * n            # shutdown dwell               (sleep)
+        wake_beacon = [0] * n          # shutdown->idle transitions   (beacon)
+        idle_beacon_t = [0.0] * n      # pre-beacon idle dwell        (beacon)
+        beacon_rx = [0] * n            # beacon receptions            (beacon)
+        wake_cont = [0] * n            # stagger wake-ups             (contention)
+        idle_cont_t = [0.0] * n        # stagger + backoff idle dwell (contention)
+        cca = [0] * n                  # clear channel assessments    (contention)
+        tx = [0] * n                   # data-frame transmissions     (transmit)
+        idle_ack_t = [0.0] * n         # turnaround idle dwell        (ackifs)
+        ack_rx = [0] * n               # acknowledgements received    (ackifs)
+        residual_rx = [0] * n          # full ack-wait timeouts       (ackifs)
+
+        # ---- result counters ----------------------------------------------------
+        attempted = [0] * n
+        delivered = [0] * n
+        failures = [0] * n
+        delays: List[List[float]] = [[] for _ in range(n)]
+        collision_count = 0
+        phase_seen = {PHASE_BEACON: False, PHASE_CONTENTION: False,
+                      PHASE_TRANSMIT: False, PHASE_ACK: False,
+                      PHASE_SLEEP: False}
+
+        # ---- medium state -------------------------------------------------------
+        # Transmissions on air as [end_time, collided, device].  Starts are
+        # chronological and every frame has the same airtime, so the list
+        # stays sorted by end time and is pruned from the front; the device's
+        # own reference survives pruning so the final collision status is
+        # still readable when the frame completes.
+        active: List[list] = []
+        pending_tx: List[Optional[list]] = [None] * n
+
+        heap: List[tuple] = []
+        seq = 0
+
+        def push(time: float, kind: int, index: int) -> None:
+            nonlocal seq
+            seq += 1
+            heappush(heap, (time, seq, kind, index))
+
+        def start_attempt(index: int, now: float) -> Optional[float]:
+            """Draw the first backoff of a contention attempt starting at ``now``.
+
+            Returns the deferral time when the first CCA would fall outside
+            the CAP, ``None`` when a CCA sample was scheduled (or the device
+            ran past the horizon mid-wait).
+            """
+            be[index] = be0
+            nb[index] = 0
+            cw[index] = contention_window
+            delay = int(generators[index].integers(0, 1 << be0))
+            if delay:
+                idle_cont_t[index] += delay * slot
+                phase_seen[PHASE_CONTENTION] = True
+            cca_start = now + delay * slot
+            if cca_start > horizon:
+                return None
+            if cca_start >= cfp_start[index]:
+                return cca_start
+            cca[index] += 1
+            phase_seen[PHASE_CONTENTION] = True
+            push(cca_start + slot, _EVENT_CCA_SAMPLE, index)
+            return None
+
+        def begin_superframes(index: int, now: float, initial: bool = False) -> None:
+            """Advance a device from the end of one superframe's activity.
+
+            Mirrors the kernel's per-superframe loop: sleep to the pre-beacon
+            wake-up, receive the beacon, stagger, start the uplink
+            transaction.  Iterates over superframes whose transaction defers
+            before its first CCA; every charge is guarded by the simulated
+            time at which the kernel would have made it.
+            """
+            while True:
+                if not initial:
+                    phase_seen[PHASE_SLEEP] = True   # idle->shutdown strobe
+                initial = False
+                beacon_at = next_beacon[index]
+                wake = beacon_at - wake_lead
+                if wake > now:
+                    sleep_t[index] += wake - now
+                else:
+                    wake = now
+                if wake > horizon:
+                    return
+                wake_beacon[index] += 1
+                resume = wake
+                startup_wait = beacon_at - wake
+                if startup_wait > 0:
+                    idle_beacon_t[index] += startup_wait
+                    resume = beacon_at
+                if resume > horizon:
+                    return
+                beacon_rx[index] += 1
+                phase_seen[PHASE_BEACON] = True
+                arrival = resume + beacon_air
+                if arrival > horizon:
+                    return
+                cap_end = beacon_at + sf_duration
+                latest_start = cap_end - margin
+                start = arrival
+                if latest_start > arrival + wake_lead:
+                    phase_seen[PHASE_CONTENTION] = True
+                    start = float(generators[index].uniform(
+                        arrival + wake_lead, latest_start))
+                    stagger_sleep = start - arrival - wake_lead
+                    if stagger_sleep > 0:
+                        phase_seen[PHASE_SLEEP] = True
+                        sleep_t[index] += stagger_sleep
+                        if start - wake_lead > horizon:
+                            return
+                        wake_cont[index] += 1
+                    idle_cont_t[index] += wake_lead
+                attempted[index] += 1
+                attempt[index] = 0
+                beacon_time[index] = beacon_at
+                cfp_start[index] = cap_end
+                deferred_at = start_attempt(index, start)
+                if deferred_at is None:
+                    return
+                now = deferred_at
+                next_beacon[index] += interval
+
+        def end_transaction(index: int, now: float) -> None:
+            next_beacon[index] += interval
+            begin_superframes(index, now)
+
+        for index in range(n):
+            begin_superframes(index, 0.0, initial=True)
+
+        # ---- interaction event loop --------------------------------------------
+        while heap:
+            now, _, kind, index = heappop(heap)
+            if now > horizon:
+                break
+            while active and active[0][0] <= now:
+                active.pop(0)
+
+            if kind == _EVENT_CCA_SAMPLE:
+                if active:  # channel busy at the sample instant
+                    nb[index] += 1
+                    be[index] = min(be[index] + 1, be_cap)
+                    cw[index] = contention_window
+                    if nb[index] > max_backoffs:
+                        failures[index] += 1
+                        end_transaction(index, now)
+                        continue
+                    delay = int(generators[index].integers(0, 1 << be[index]))
+                    if delay:
+                        idle_cont_t[index] += delay * slot
+                    cca_start = now + delay * slot
+                    if cca_start > horizon:
+                        continue
+                    if cca_start >= cfp_start[index]:
+                        end_transaction(index, cca_start)
+                        continue
+                    cca[index] += 1
+                    push(cca_start + slot, _EVENT_CCA_SAMPLE, index)
+                    continue
+                cw[index] -= 1
+                if cw[index] > 0:  # second CCA of the contention window
+                    if now >= cfp_start[index]:
+                        end_transaction(index, now)
+                        continue
+                    cca[index] += 1
+                    push(now + slot, _EVENT_CCA_SAMPLE, index)
+                    continue
+                # Channel clear twice: transmit, unless the transaction no
+                # longer fits in the contention access period.
+                if now + txn_tail > cfp_start[index]:
+                    end_transaction(index, now)
+                    continue
+                tx[index] += 1
+                phase_seen[PHASE_TRANSMIT] = True
+                entry = [now + frame_air, False, index]
+                if active:  # pragma: no cover - measure-zero with CCA sampling
+                    entry[1] = True
+                    for other in active:
+                        other[1] = True
+                    collision_count += 1
+                active.append(entry)
+                pending_tx[index] = entry
+                push(now + frame_air, _EVENT_TX_END, index)
+                continue
+
+            # ---- data frame completed: acknowledgement decision ----------------
+            phase_seen[PHASE_ACK] = True
+            # Collision status is final: any collider must have started
+            # strictly before the frame ended.
+            entry = pending_tx[index]
+            pending_tx[index] = None
+            collided = entry[1]
+            acked = False
+            if not collided:
+                acked = not (coordinator_rng.random() < packet_error[index])
+            idle_ack_t[index] += turnaround
+            ack_resume = now + turnaround
+            if acked:
+                ack_rx[index] += 1
+                done = ack_resume + ack_air
+                if done > horizon:
+                    continue
+                delivered[index] += 1
+                delays[index].append(done - beacon_time[index])
+                end_transaction(index, done)
+                continue
+            residual_rx[index] += 1
+            retry_at = ack_resume + residual
+            if retry_at > horizon:
+                continue
+            attempt[index] += 1
+            if attempt[index] >= max_transmissions:
+                end_transaction(index, retry_at)
+                continue
+            deferred_at = start_attempt(index, retry_at)
+            if deferred_at is not None:
+                end_transaction(index, deferred_at)
+
+        # ---- numpy ledger reduction --------------------------------------------
+        power_sd = profile.power_w(RadioState.SHUTDOWN)
+        power_idle = profile.power_w(RadioState.IDLE)
+        power_rx = profile.power_w(RadioState.RX)
+        power_tx = np.array([profile.tx_power_w(level)
+                             for level in programmed_dbm])
+        startup = profile.transition(RadioState.SHUTDOWN, RadioState.IDLE)
+        to_rx = profile.transition(RadioState.IDLE, RadioState.RX)
+        to_tx = profile.transition(RadioState.IDLE, RadioState.TX)
+        from_rx = profile.transition(RadioState.RX, RadioState.IDLE)
+        from_tx = profile.transition(RadioState.TX, RadioState.IDLE)
+
+        sleep_t = np.array(sleep_t)
+        wake_beacon = np.array(wake_beacon)
+        idle_beacon_t = np.array(idle_beacon_t)
+        beacon_rx = np.array(beacon_rx)
+        wake_cont = np.array(wake_cont)
+        idle_cont_t = np.array(idle_cont_t)
+        cca = np.array(cca)
+        tx = np.array(tx)
+        idle_ack_t = np.array(idle_ack_t)
+        ack_rx = np.array(ack_rx)
+        residual_rx = np.array(residual_rx)
+
+        rx_round_e = to_rx.energy_j + from_rx.energy_j
+        rx_round_t = to_rx.duration_s + from_rx.duration_s
+        energy_beacon = (wake_beacon * startup.energy_j
+                         + idle_beacon_t * power_idle
+                         + beacon_rx * (rx_round_e + power_rx * beacon_air))
+        energy_cont = (wake_cont * startup.energy_j
+                       + idle_cont_t * power_idle
+                       + cca * (rx_round_e + power_rx * slot))
+        energy_tx = tx * (to_tx.energy_j + from_tx.energy_j) \
+            + tx * power_tx * frame_air
+        energy_ack = (idle_ack_t * power_idle
+                      + ack_rx * (rx_round_e + power_rx * ack_air)
+                      + residual_rx * (rx_round_e + power_rx * residual))
+        energy_sleep = sleep_t * power_sd
+        energy = (energy_beacon + energy_cont + energy_tx + energy_ack
+                  + energy_sleep)
+        elapsed = (sleep_t
+                   + (wake_beacon + wake_cont) * startup.duration_s
+                   + idle_beacon_t + idle_cont_t + idle_ack_t
+                   + beacon_rx * (rx_round_t + beacon_air)
+                   + cca * (rx_round_t + slot)
+                   + tx * (to_tx.duration_s + from_tx.duration_s + frame_air)
+                   + ack_rx * (rx_round_t + ack_air)
+                   + residual_rx * (rx_round_t + residual))
+        powers = energy / np.maximum(elapsed, 1e-12)
+
+        phase_energy: Dict[str, float] = {}
+        for phase, total in ((PHASE_BEACON, energy_beacon),
+                             (PHASE_CONTENTION, energy_cont),
+                             (PHASE_TRANSMIT, energy_tx),
+                             (PHASE_ACK, energy_ack),
+                             (PHASE_SLEEP, energy_sleep)):
+            if phase_seen[phase]:
+                phase_energy[phase] = float(np.sum(total))
+
+        all_delays = [delay for per_device in delays for delay in per_device]
+        return SimulationSummary(
+            simulated_time_s=horizon,
+            node_count=n,
+            superframes=superframes,
+            packets_attempted=int(sum(attempted)),
+            packets_delivered=int(sum(delivered)),
+            channel_access_failures=int(sum(failures)),
+            collisions=collision_count,
+            mean_node_power_w=float(np.mean(powers)),
+            mean_delivery_delay_s=(float(np.mean(all_delays))
+                                   if all_delays else None),
+            energy_by_phase_j=phase_energy,
+        )

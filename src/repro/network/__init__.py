@@ -12,6 +12,9 @@ from repro.network.traffic import BufferedTrafficSource, PeriodicSensingTraffic
 from repro.network.channel_allocation import ChannelAllocator, round_robin_allocation
 from repro.network.node import SensorNode
 from repro.network.scenario import DenseNetworkScenario, ChannelScenario, SimulationSummary
+from repro.network.spec import CASE_STUDY_SPEC, ScenarioSpec, adaptive_tx_levels
+from repro.network.simulate import (ChannelSimTask, aggregate_channel_rows,
+                                    simulate_channel, simulate_network)
 
 __all__ = [
     "NodePlacement",
@@ -25,4 +28,11 @@ __all__ = [
     "DenseNetworkScenario",
     "ChannelScenario",
     "SimulationSummary",
+    "ScenarioSpec",
+    "CASE_STUDY_SPEC",
+    "adaptive_tx_levels",
+    "ChannelSimTask",
+    "simulate_channel",
+    "simulate_network",
+    "aggregate_channel_rows",
 ]

@@ -6,24 +6,25 @@ its path losses and traffic, and can
 * produce the per-channel analytical view consumed by
   :class:`repro.core.case_study.CaseStudy`, and
 * instantiate a packet-level simulation of one channel
-  (:class:`ChannelScenario`) on the discrete-event kernel, used to
-  cross-validate the analytical model (energy, failure rate, delay).
+  (:class:`ChannelScenario`), used to cross-validate the analytical model
+  (energy, failure rate, delay).
 
-Full-scale packet simulation of 100 nodes over many superframes is feasible
-but slow in pure Python; the defaults used by the tests and benches simulate
-scaled-down channels (10–30 nodes, a handful of superframes) which is enough
-to validate trends against the analytical model.
+:meth:`ChannelScenario.run` offers two interchangeable kernels: the
+discrete-event reference (``backend="event"``) and the vectorized slot-level
+fast path (``backend="vectorized"``, :mod:`repro.mac.vectorized`) that makes
+the full 100-nodes-per-channel case study tractable — identical counts for
+the same seed, ≥10× faster.  The 16-channel fan-out lives in
+:mod:`repro.network.simulate`, driven by the declarative specs of
+:mod:`repro.network.spec`.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.channel.awgn import AwgnLink
 from repro.mac.constants import MAC_2450MHZ, MacConstants
 from repro.mac.coordinator import Coordinator
 from repro.mac.csma import CsmaParameters
@@ -42,7 +43,13 @@ from repro.sim.random import RandomStreams
 
 @dataclass
 class SimulationSummary:
-    """Aggregate results of one packet-level channel simulation."""
+    """Aggregate results of one packet-level channel simulation.
+
+    ``mean_delivery_delay_s`` is ``None`` when not a single packet was
+    delivered (e.g. a channel whose nodes are all out of range), so that
+    downstream aggregation can skip the channel instead of propagating a
+    ``NaN`` through report tables.
+    """
 
     simulated_time_s: float
     node_count: int
@@ -52,7 +59,7 @@ class SimulationSummary:
     channel_access_failures: int
     collisions: int
     mean_node_power_w: float
-    mean_delivery_delay_s: float
+    mean_delivery_delay_s: Optional[float]
     energy_by_phase_j: Dict[str, float]
 
     @property
@@ -80,12 +87,22 @@ class ChannelScenario:
         Master seed for all random streams of the simulation.
     csma_params:
         CSMA/CA parameters (paper convention by default).
+    default_tx_power_dbm:
+        Transmit level used for nodes whose ``tx_power_dbm`` has not been
+        assigned by link adaptation.  ``None`` (the default) makes an
+        unassigned node an error instead of silently transmitting at an
+        arbitrary level — pass the scenario's configured level explicitly
+        (:class:`DenseNetworkScenario` does).
     """
+
+    #: Simulation backends accepted by :meth:`run`.
+    BACKENDS = ("event", "vectorized")
 
     def __init__(self, nodes: List[SensorNode], config: SuperframeConfig,
                  constants: MacConstants = MAC_2450MHZ,
                  payload_bytes: int = 120, seed: int = 0,
-                 csma_params: Optional[CsmaParameters] = None):
+                 csma_params: Optional[CsmaParameters] = None,
+                 default_tx_power_dbm: Optional[float] = None):
         if not nodes:
             raise ValueError("A channel scenario needs at least one node")
         self.nodes = list(nodes)
@@ -94,11 +111,54 @@ class ChannelScenario:
         self.payload_bytes = payload_bytes
         self.seed = seed
         self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
+        self.default_tx_power_dbm = default_tx_power_dbm
 
-    def run(self, superframes: int = 10) -> SimulationSummary:
-        """Simulate ``superframes`` beacon intervals and summarise the outcome."""
+    def resolved_tx_levels_dbm(self) -> List[float]:
+        """The transmit level each node will use, aligned with ``nodes``.
+
+        Raises
+        ------
+        ValueError
+            If a node has no assigned level and the scenario has no
+            configured default — run link adaptation
+            (:meth:`DenseNetworkScenario.assign_tx_powers`) or construct the
+            scenario with ``default_tx_power_dbm``.
+        """
+        levels = []
+        for node in self.nodes:
+            level = node.tx_power_dbm
+            if level is None:
+                level = self.default_tx_power_dbm
+            if level is None:
+                raise ValueError(
+                    f"Node {node.node_id} has no transmit power assigned and "
+                    f"the scenario has no default_tx_power_dbm; run link "
+                    f"adaptation or configure a default level")
+            levels.append(float(level))
+        return levels
+
+    def run(self, superframes: int = 10,
+            backend: str = "event") -> SimulationSummary:
+        """Simulate ``superframes`` beacon intervals and summarise the outcome.
+
+        ``backend`` selects the simulation kernel: ``"event"`` is the
+        discrete-event reference, ``"vectorized"`` the fast path of
+        :mod:`repro.mac.vectorized` (identical counts for the same seed).
+        """
+        if backend not in self.BACKENDS:
+            raise ValueError(f"Unknown backend {backend!r}; "
+                             f"choose one of {', '.join(self.BACKENDS)}")
         if superframes < 1:
             raise ValueError("superframes must be at least 1")
+        tx_levels = self.resolved_tx_levels_dbm()
+        if backend == "vectorized":
+            from repro.mac.vectorized import VectorizedChannelSimulator
+            simulator = VectorizedChannelSimulator(
+                nodes=self.nodes, config=self.config,
+                tx_levels_dbm=tx_levels, constants=self.constants,
+                payload_bytes=self.payload_bytes, seed=self.seed,
+                csma_params=self.csma_params)
+            return simulator.run(superframes=superframes)
         streams = RandomStreams(self.seed)
         env = Environment()
         channel = self.nodes[0].channel
@@ -110,8 +170,7 @@ class ChannelScenario:
             links=links, rng=streams.get("coordinator"))
 
         devices: List[Device] = []
-        for node in self.nodes:
-            tx_level = node.tx_power_dbm if node.tx_power_dbm is not None else 0.0
+        for node, tx_level in zip(self.nodes, tx_levels):
             device = Device(
                 env=env,
                 node_id=node.node_id,
@@ -155,7 +214,7 @@ class ChannelScenario:
             channel_access_failures=access_failures,
             collisions=medium.collision_count,
             mean_node_power_w=float(np.mean(powers)) if powers else 0.0,
-            mean_delivery_delay_s=float(np.mean(delays)) if delays else math.nan,
+            mean_delivery_delay_s=float(np.mean(delays)) if delays else None,
             energy_by_phase_j=energy_by_phase,
         )
 
@@ -178,6 +237,10 @@ class DenseNetworkScenario:
         Beacon order of every channel's superframe.
     seed:
         Master seed for node placement / path-loss draws.
+    tx_power_dbm:
+        Transmit level for nodes link adaptation has not (yet) assigned a
+        per-node power to.  The paper's case study guarantees every node is
+        reachable at the maximum 0 dBm, which is therefore the default.
     """
 
     total_nodes: int = 1600
@@ -189,6 +252,7 @@ class DenseNetworkScenario:
     beacon_order: int = 6
     seed: int = 0
     error_model: ErrorModel = field(default_factory=EmpiricalBerModel)
+    tx_power_dbm: float = 0.0
 
     def __post_init__(self):
         if self.total_nodes < 1:
@@ -258,11 +322,15 @@ class DenseNetworkScenario:
     def channel_scenario(self, channel: int, payload_bytes: Optional[int] = None,
                          max_nodes: Optional[int] = None,
                          constants: MacConstants = MAC_2450MHZ,
-                         seed: Optional[int] = None) -> ChannelScenario:
+                         seed: Optional[int] = None,
+                         csma_params: Optional[CsmaParameters] = None
+                         ) -> ChannelScenario:
         """A packet-level simulation of one channel.
 
         ``max_nodes`` truncates the channel population (useful to keep
         pure-Python simulation times reasonable in tests and benches).
+        Nodes without a link-adaptation power transmit at the scenario's
+        configured ``tx_power_dbm``.
         """
         nodes = self.nodes_on_channel(channel)
         if not nodes:
@@ -275,4 +343,6 @@ class DenseNetworkScenario:
             constants=constants,
             payload_bytes=payload_bytes or self.traffic.payload_bytes,
             seed=self.seed if seed is None else seed,
+            csma_params=csma_params,
+            default_tx_power_dbm=self.tx_power_dbm,
         )

@@ -1,0 +1,201 @@
+"""Multi-channel packet-level simulation of a :class:`ScenarioSpec`.
+
+The paper's case study splits 1600 nodes over sixteen RF channels; the
+channels do not interact (separate frequencies, one coordinator each), so a
+full-network simulation is an embarrassingly parallel fan-out of independent
+single-channel simulations.  :func:`simulate_network` describes each channel
+as a picklable :class:`ChannelSimTask` — the spec, the channel number, the
+shared placement seed and a per-channel simulation seed spawned from the
+master seed — and runs them through any :mod:`repro.runner.executor`
+strategy, so ``--jobs N`` parallelism and serial runs produce identical
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.network.spec import (ScenarioSpec, TX_POLICY_ADAPTIVE,
+                                adaptive_tx_levels)
+from repro.sim.random import spawn_seeds
+
+#: Seed-stream label of the per-channel simulation seeds.
+CHANNEL_SEED_STREAM = "network.simulate.channels"
+
+
+@dataclass(frozen=True)
+class ChannelSimTask:
+    """Picklable description of one channel's packet-level simulation.
+
+    ``placement_seed`` drives node placement and path losses and is shared
+    by every task of a network run (all workers must see the same
+    population); ``sim_seed`` drives the channel's packet-level randomness
+    and is unique per channel.
+    """
+
+    spec: ScenarioSpec
+    channel: int
+    placement_seed: int
+    sim_seed: int
+    superframes: int
+    max_nodes: Optional[int] = None
+    backend: Optional[str] = None
+
+
+def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
+    """Simulate one channel of the spec'd network and summarise it as a dict.
+
+    Module-level (and therefore picklable) so it can serve as the task
+    function of a process-pool executor.  The channel simulation is built
+    directly from the spec's own superframe config, MAC constants and CSMA
+    parameters, so band and SO < BO settings are honoured.
+    """
+    from repro.network.scenario import ChannelScenario
+
+    spec = task.spec
+    scenario = spec.build_seeded(task.placement_seed)
+    nodes = scenario.nodes_on_channel(task.channel)
+    if task.max_nodes is not None:
+        nodes = nodes[:task.max_nodes]
+    if spec.tx_policy == TX_POLICY_ADAPTIVE:
+        frame_bytes = spec.payload_bytes + _overhead_bytes()
+        levels = adaptive_tx_levels(
+            [node.path_loss_db for node in nodes], frame_bytes,
+            target_packet_error=spec.target_packet_error,
+            error_model=scenario.error_model)
+        for node, level in zip(nodes, levels):
+            node.tx_power_dbm = level
+    channel_scenario = ChannelScenario(
+        nodes=nodes,
+        config=spec.superframe_config(),
+        constants=spec.constants(),
+        payload_bytes=spec.payload_bytes,
+        seed=task.sim_seed,
+        csma_params=spec.csma_parameters(),
+        default_tx_power_dbm=spec.tx_power_dbm)
+    backend = task.backend or spec.backend
+    summary = channel_scenario.run(superframes=task.superframes,
+                                   backend=backend)
+    return {
+        "channel": task.channel,
+        "nodes": summary.node_count,
+        "superframes": summary.superframes,
+        "packets_attempted": summary.packets_attempted,
+        "packets_delivered": summary.packets_delivered,
+        "channel_access_failures": summary.channel_access_failures,
+        "collisions": summary.collisions,
+        "failure_probability": summary.failure_probability,
+        "mean_power_uw": summary.mean_node_power_w * 1e6,
+        "mean_delivery_delay_s": summary.mean_delivery_delay_s,
+        "energy_by_phase_j": dict(summary.energy_by_phase_j),
+    }
+
+
+def _overhead_bytes() -> int:
+    from repro.mac.frames import total_packet_overhead_bytes
+    return total_packet_overhead_bytes()
+
+
+def simulate_network(spec: ScenarioSpec, superframes: Optional[int] = None,
+                     seed: Optional[int] = 0, executor=None,
+                     max_nodes_per_channel: Optional[int] = None,
+                     backend: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Simulate every channel of ``spec``, optionally on a process pool.
+
+    Parameters
+    ----------
+    spec:
+        The workload description.
+    superframes:
+        Beacon intervals to simulate per channel (default: the spec's hint).
+    seed:
+        Master seed; node placement uses it directly and channel ``i``
+        receives the ``i``-th child of
+        ``spawn_seeds(seed, CHANNEL_SEED_STREAM, num_channels)``, so serial
+        and parallel runs are bit-identical.  ``None`` draws one fresh
+        unpredictable master seed up front — the run is not reproducible,
+        but all channels still share a single node population.
+    executor:
+        A :mod:`repro.runner.executor` strategy; ``None`` runs serially.
+    max_nodes_per_channel:
+        Truncate each channel's population (scaled-down runs).
+    backend:
+        Override the spec's simulation backend.
+
+    Returns
+    -------
+    list of dict
+        One summary dict per channel, in channel order.
+    """
+    from repro.runner.executor import run_ordered
+
+    tasks = build_channel_tasks(spec, superframes=superframes, seed=seed,
+                                max_nodes_per_channel=max_nodes_per_channel,
+                                backend=backend)
+    return run_ordered(executor, simulate_channel, tasks)
+
+
+def build_channel_tasks(spec: ScenarioSpec, superframes: Optional[int] = None,
+                        seed: Optional[int] = 0,
+                        max_nodes_per_channel: Optional[int] = None,
+                        backend: Optional[str] = None) -> List[ChannelSimTask]:
+    """The per-channel task list of :func:`simulate_network`.
+
+    A ``seed`` of ``None`` is resolved to one concrete (unpredictable)
+    master seed up front — every channel task must still share the same
+    node population.
+    """
+    if seed is None:
+        seed = int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    channels = spec.channels
+    superframes = spec.superframes_hint if superframes is None else superframes
+    seeds = spawn_seeds(seed, CHANNEL_SEED_STREAM, len(channels))
+    return [ChannelSimTask(spec=spec, channel=channel, placement_seed=seed,
+                           sim_seed=channel_seed, superframes=superframes,
+                           max_nodes=max_nodes_per_channel, backend=backend)
+            for channel, channel_seed in zip(channels, seeds)]
+
+
+def aggregate_channel_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """NaN-safe aggregation of per-channel summaries into network totals.
+
+    Channels that delivered nothing report ``mean_delivery_delay_s`` of
+    ``None``; the network mean skips them (weighting the rest by delivered
+    packets) and is itself ``None`` when no channel delivered anything.
+    """
+    attempted = sum(row["packets_attempted"] for row in rows)
+    delivered = sum(row["packets_delivered"] for row in rows)
+    failures = sum(row["channel_access_failures"] for row in rows)
+    collisions = sum(row["collisions"] for row in rows)
+    node_count = sum(row["nodes"] for row in rows)
+    power = (float(np.average([row["mean_power_uw"] for row in rows],
+                              weights=[row["nodes"] for row in rows]))
+             if node_count else 0.0)
+    delay_rows = [row for row in rows
+                  if row["mean_delivery_delay_s"] is not None
+                  and row["packets_delivered"] > 0]
+    delay = None
+    if delay_rows:
+        delay = float(np.average(
+            [row["mean_delivery_delay_s"] for row in delay_rows],
+            weights=[row["packets_delivered"] for row in delay_rows]))
+    energy: Dict[str, float] = {}
+    for row in rows:
+        for phase, value in row["energy_by_phase_j"].items():
+            energy[phase] = energy.get(phase, 0.0) + value
+    return {
+        "channels": len(rows),
+        "nodes": node_count,
+        "packets_attempted": attempted,
+        "packets_delivered": delivered,
+        "channel_access_failures": failures,
+        "collisions": collisions,
+        "failure_probability": (1.0 - delivered / attempted
+                                if attempted else 0.0),
+        "mean_power_uw": power,
+        "mean_delivery_delay_s": delay,
+        "energy_by_phase_j": energy,
+    }

@@ -70,7 +70,14 @@ def canonical_json(value: Any) -> str:
 
 def result_key(experiment: str, params: Mapping[str, Any], seed: Any,
                version: Optional[str] = None) -> str:
-    """Cache key of one run: hash(experiment, params, seed, code version)."""
+    """Cache key of one run: hash(experiment, params, seed, code version).
+
+    A ``seed`` of ``None`` still hashes (to a stable key), but such runs
+    draw unpredictable task seeds and are not reproducible — the engine
+    therefore never stores or looks them up (see
+    :func:`repro.runner.engine.run_experiment`); the key is only good for
+    logging.
+    """
     payload = {
         "experiment": experiment,
         "params": params,

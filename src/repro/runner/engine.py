@@ -58,7 +58,7 @@ class ExperimentRun:
 
     spec: ExperimentSpec
     params: Dict[str, Any]
-    seed: int
+    seed: Optional[int]
     jobs: int
     cache_hit: bool
     cache_key: str
@@ -89,7 +89,7 @@ def resolve_cache(cache: Any = True,
 def run_experiment(name: str,
                    params: Optional[Mapping[str, Any]] = None,
                    jobs: int = 1,
-                   seed: int = DEFAULT_SEED,
+                   seed: Optional[int] = DEFAULT_SEED,
                    cache: Any = True,
                    cache_root: Optional[str] = None,
                    registry: Optional[ExperimentRegistry] = None
@@ -106,7 +106,11 @@ def run_experiment(name: str,
     jobs:
         Worker processes; ``1`` runs serially, producing identical rows.
     seed:
-        Master seed of the run (part of the cache key).
+        Master seed of the run (part of the cache key).  ``None`` draws
+        unpredictable task seeds — such a run is *not* reproducible, so the
+        result cache is bypassed entirely (neither looked up nor written):
+        caching it would replay one arbitrary draw as if it were the
+        deterministic answer.
     cache:
         ``True`` (default on-disk cache), ``False`` (no caching), or a cache
         object with ``key``/``load``/``store``.
@@ -124,7 +128,10 @@ def run_experiment(name: str,
     jobs = max(1, jobs)
     spec = registry.get(name)
     resolved = spec.resolve_params(params)
-    cache_obj = resolve_cache(cache, cache_root)
+    if seed is None:
+        cache_obj = NullCache()
+    else:
+        cache_obj = resolve_cache(cache, cache_root)
     key = cache_obj.key(spec.name, _canonical_params(resolved), seed)
 
     start = time.perf_counter()

@@ -104,11 +104,13 @@ class RunContext:
         table.
     seed:
         Master seed of the run; all task seeds must derive from it.
+        ``None`` marks an intentionally non-reproducible run (the engine
+        then hands the adapters a cache that never hits).
     """
 
     executor: Any
     cache: Any
-    seed: int
+    seed: Optional[int]
 
 
 class ExperimentRegistry:

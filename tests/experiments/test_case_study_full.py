@@ -1,0 +1,78 @@
+"""Tests of the full-scale packet-level case-study experiment (EXP-CSF)."""
+
+import pytest
+
+from repro.experiments.case_study_full import run_full_case_study
+from repro.runner import run_experiment
+
+#: Scaled-down parameters so the driver test stays fast in CI.
+TINY = {"total_nodes": 60, "num_channels": 3, "superframes": 3,
+        "beacon_order": 3, "nodes_per_channel_cap": 6}
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_full_case_study(total_nodes=60, num_channels=3,
+                                   superframes=3, beacon_order=3,
+                                   nodes_per_channel_cap=6, seed=4)
+
+    def test_one_row_per_channel(self, result):
+        assert [row["channel"] for row in result.channel_rows] == [11, 12, 13]
+        for row in result.channel_rows:
+            assert row["nodes"] == 6
+            assert row["packets_delivered"] <= row["packets_attempted"]
+
+    def test_aggregate_is_consistent_with_rows(self, result):
+        aggregate = result.aggregate
+        assert aggregate["packets_attempted"] == sum(
+            row["packets_attempted"] for row in result.channel_rows)
+        assert 0.0 <= aggregate["failure_probability"] <= 1.0
+        assert aggregate["mean_power_uw"] > 0.0
+
+    def test_report_carries_the_paper_comparisons(self, result):
+        quantities = [row.quantity for row in result.report.rows]
+        assert any("failure probability" in q for q in quantities)
+        assert any("power" in q for q in quantities)
+
+    def test_table_renders(self, result):
+        assert "Per-channel" in result.table
+        assert "11" in result.table
+
+
+class TestThroughEngine:
+    def test_registered_and_runnable(self, tmp_path):
+        run = run_experiment("case_study_full", params=TINY,
+                             cache_root=tmp_path, seed=7)
+        assert len(run.rows) == 3
+        assert "aggregate" in run.payload
+        assert run.payload["report"]["experiment_id"] == "EXP-CSF"
+
+    def test_cache_replay_and_jobs_equivalence(self, tmp_path):
+        serial = run_experiment("case_study_full", params=TINY,
+                                cache_root=tmp_path, seed=7)
+        replay = run_experiment("case_study_full", params=TINY,
+                                cache_root=tmp_path, seed=7)
+        assert replay.cache_hit
+        assert replay.rows == serial.rows
+        parallel = run_experiment("case_study_full", params=TINY,
+                                  cache=False, jobs=2, seed=7)
+        assert parallel.rows == serial.rows
+
+    def test_event_backend_param_accepted(self):
+        run = run_experiment("case_study_full",
+                             params=dict(TINY, backend="event",
+                                         num_channels=1, superframes=2),
+                             cache=False, seed=3)
+        assert len(run.rows) == 1
+
+    def test_payload_survives_a_json_round_trip(self):
+        """The payload (including possibly-None delays) must be plain JSON —
+        that is what the result cache stores and replays."""
+        import json
+
+        run = run_experiment("case_study_full", params=TINY, cache=False,
+                             seed=7)
+        replayed = json.loads(json.dumps(run.payload))
+        assert replayed["rows"] == run.payload["rows"]
+        assert replayed["aggregate"] == run.payload["aggregate"]

@@ -72,6 +72,64 @@ class TestCsmaParameters:
             CsmaParameters(battery_life_extension=True)) == pytest.approx(1.5)
 
 
+class TestBatteryLifeExtensionEdgeCases:
+    def test_min_be_above_ble_cap_uses_the_cap(self):
+        """min_be > battery_life_extension_max_be: the BLE cap wins for the
+        initial exponent and every later clamp."""
+        params = CsmaParameters(min_be=4, battery_life_extension=True,
+                                battery_life_extension_max_be=2)
+        assert params.initial_backoff_exponent() == 2
+        assert params.clamp_backoff_exponent(params.initial_backoff_exponent() + 1) == 2
+        machine = SlottedCsmaCa(params, rng=np.random.default_rng(0))
+        drive(machine, busy_pattern=[True, True, True])
+        # Every drawn delay came from a window capped at 2^2 slots.
+        assert machine.result().backoff_slots_waited <= 3 * (2 ** 2 - 1)
+
+    def test_min_be_below_ble_cap_keeps_min_be(self):
+        params = CsmaParameters(min_be=1, battery_life_extension=True,
+                                battery_life_extension_max_be=2)
+        assert params.initial_backoff_exponent() == 1
+        assert params.clamp_backoff_exponent(4) == 2
+
+    def test_ble_cap_of_zero_forces_immediate_cca(self):
+        params = CsmaParameters(battery_life_extension=True,
+                                battery_life_extension_max_be=0)
+        assert params.initial_backoff_exponent() == 0
+        machine = SlottedCsmaCa(params, rng=np.random.default_rng(1))
+        instruction = machine.begin()
+        assert instruction.action is CsmaAction.WAIT_BACKOFF
+        assert instruction.slots == 0
+
+    def test_ble_disabled_ignores_the_cap_attribute(self):
+        params = CsmaParameters(battery_life_extension=False,
+                                battery_life_extension_max_be=0)
+        assert params.initial_backoff_exponent() == 3
+        assert params.clamp_backoff_exponent(9) == 5
+
+    def test_negative_ble_cap_raises_dedicated_error(self):
+        from repro.mac.csma import BatteryLifeExtensionError
+        with pytest.raises(BatteryLifeExtensionError):
+            CsmaParameters(battery_life_extension=True,
+                           battery_life_extension_max_be=-1)
+        # The error is a ValueError, so generic validation handling catches it.
+        assert issubclass(BatteryLifeExtensionError, ValueError)
+
+    def test_negative_ble_cap_allowed_when_ble_disabled(self):
+        params = CsmaParameters(battery_life_extension=False,
+                                battery_life_extension_max_be=-1)
+        assert params.initial_backoff_exponent() == 3
+
+    def test_post_init_validation_matrix(self):
+        with pytest.raises(ValueError):
+            CsmaParameters(min_be=-1)
+        with pytest.raises(ValueError):
+            CsmaParameters(min_be=3, max_be=2)
+        with pytest.raises(ValueError):
+            CsmaParameters(max_csma_backoffs=-1)
+        with pytest.raises(ValueError):
+            CsmaParameters(contention_window=0)
+
+
 class TestSlottedCsmaCa:
     def test_clear_channel_transmits_after_two_ccas(self):
         machine = SlottedCsmaCa(rng=np.random.default_rng(0))

@@ -1,0 +1,181 @@
+"""Cross-validation of the vectorized fast path against the event kernel.
+
+The vectorized backend promises *identical* delivery / failure / attempt
+counts for the same scenario and master seed (it consumes the same named
+random streams in the same order), and float-precision agreement on powers,
+delays and the per-phase energy split.  These tests pin that contract on
+scenarios exercising the interesting regimes: light load (everything
+delivered), heavy load (busy CCAs, channel access failures, retries) and
+the full 100-node case-study channel.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mac.csma import CsmaParameters
+from repro.mac.superframe import SuperframeConfig
+from repro.mac.vectorized import VectorizedChannelSimulator
+from repro.network.node import SensorNode
+from repro.network.scenario import ChannelScenario, DenseNetworkScenario
+
+
+def run_both(channel_scenario, superframes):
+    event = channel_scenario.run(superframes=superframes, backend="event")
+    fast = channel_scenario.run(superframes=superframes, backend="vectorized")
+    return event, fast
+
+
+def assert_summaries_match(event, fast):
+    assert fast.packets_attempted == event.packets_attempted
+    assert fast.packets_delivered == event.packets_delivered
+    assert fast.channel_access_failures == event.channel_access_failures
+    assert fast.collisions == event.collisions
+    assert fast.node_count == event.node_count
+    assert fast.superframes == event.superframes
+    assert fast.simulated_time_s == pytest.approx(event.simulated_time_s)
+    assert fast.mean_node_power_w == pytest.approx(event.mean_node_power_w,
+                                                   rel=1e-9)
+    if event.mean_delivery_delay_s is None:
+        assert fast.mean_delivery_delay_s is None
+    else:
+        assert fast.mean_delivery_delay_s == pytest.approx(
+            event.mean_delivery_delay_s, rel=1e-9)
+    assert set(fast.energy_by_phase_j) == set(event.energy_by_phase_j)
+    for phase, energy in event.energy_by_phase_j.items():
+        assert fast.energy_by_phase_j[phase] == pytest.approx(energy,
+                                                              rel=1e-9), phase
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 4, 17])
+    def test_light_load_channel_matches_event_kernel(self, seed):
+        scenario = DenseNetworkScenario(total_nodes=64, channels=[11, 12],
+                                        beacon_order=3, seed=seed)
+        channel = scenario.channel_scenario(11, max_nodes=8, seed=seed + 7)
+        assert_summaries_match(*run_both(channel, superframes=6))
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_saturated_channel_matches_event_kernel(self, seed):
+        """Heavy load: busy CCAs, access failures and retries must agree."""
+        scenario = DenseNetworkScenario(total_nodes=64, channels=[11, 12],
+                                        beacon_order=2, seed=seed)
+        channel = scenario.channel_scenario(11, max_nodes=16, seed=seed)
+        event, fast = run_both(channel, superframes=8)
+        assert event.channel_access_failures > 0  # the regime is exercised
+        assert_summaries_match(event, fast)
+
+    def test_full_case_study_channel_matches_event_kernel(self):
+        scenario = DenseNetworkScenario(seed=1)
+        channel = scenario.channel_scenario(11, seed=3)
+        event, fast = run_both(channel, superframes=3)
+        assert event.node_count == 100
+        assert_summaries_match(event, fast)
+
+    def test_lossy_links_match_event_kernel(self):
+        """Corruption draws (coordinator stream) consumed identically."""
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=93.0,
+                            tx_power_dbm=0.0) for i in range(1, 7)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        channel = ChannelScenario(nodes, config, payload_bytes=100, seed=5)
+        event, fast = run_both(channel, superframes=10)
+        assert event.packets_delivered < event.packets_attempted  # losses
+        assert_summaries_match(event, fast)
+
+    def test_standard_csma_convention_matches_event_kernel(self):
+        params = CsmaParameters.from_mac_constants(paper_convention=False)
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=70.0,
+                            tx_power_dbm=0.0) for i in range(1, 13)]
+        config = SuperframeConfig(beacon_order=2, superframe_order=2)
+        channel = ChannelScenario(nodes, config, payload_bytes=120, seed=3,
+                                  csma_params=params)
+        assert_summaries_match(*run_both(channel, superframes=6))
+
+    def test_battery_life_extension_matches_event_kernel(self):
+        params = CsmaParameters.from_mac_constants(battery_life_extension=True)
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=70.0,
+                            tx_power_dbm=0.0) for i in range(1, 13)]
+        config = SuperframeConfig(beacon_order=2, superframe_order=2)
+        channel = ChannelScenario(nodes, config, payload_bytes=120, seed=6,
+                                  csma_params=params)
+        assert_summaries_match(*run_both(channel, superframes=6))
+
+    def test_inactive_superframe_portion_matches_event_kernel(self):
+        """SO < BO: devices sleep through the inactive portion."""
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=70.0,
+                            tx_power_dbm=0.0) for i in range(1, 7)]
+        config = SuperframeConfig(beacon_order=4, superframe_order=2)
+        channel = ChannelScenario(nodes, config, payload_bytes=100, seed=8)
+        assert_summaries_match(*run_both(channel, superframes=5))
+
+
+class TestVectorizedProperties:
+    def test_unknown_backend_rejected(self):
+        nodes = [SensorNode(node_id=1, channel=11, path_loss_db=65.0,
+                            tx_power_dbm=0.0)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        with pytest.raises(ValueError, match="backend"):
+            ChannelScenario(nodes, config).run(superframes=2, backend="gpu")
+
+    def test_superframes_must_be_positive(self):
+        nodes = [SensorNode(node_id=1, channel=11, path_loss_db=65.0)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        simulator = VectorizedChannelSimulator(nodes, config,
+                                               tx_levels_dbm=[0.0])
+        with pytest.raises(ValueError):
+            simulator.run(superframes=0)
+
+    def test_tx_levels_must_align_with_nodes(self):
+        nodes = [SensorNode(node_id=1, channel=11, path_loss_db=65.0)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        with pytest.raises(ValueError):
+            VectorizedChannelSimulator(nodes, config, tx_levels_dbm=[0.0, 0.0])
+
+    def test_zero_delivery_channel_reports_none_delay(self):
+        """Out-of-range nodes deliver nothing; the delay must be None."""
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=120.0,
+                            tx_power_dbm=0.0) for i in range(1, 4)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        channel = ChannelScenario(nodes, config, payload_bytes=60, seed=2)
+        event, fast = run_both(channel, superframes=4)
+        assert event.packets_delivered == 0
+        assert event.mean_delivery_delay_s is None
+        assert_summaries_match(event, fast)
+        assert fast.failure_probability == 1.0
+
+
+class TestTrendsAtScale:
+    """The vectorized backend must reproduce the analytical model's trends
+    when the channel is scaled from validation size to the paper's 100
+    nodes — failure probability grows with load, power stays in the
+    sub-milliwatt regime the model predicts."""
+
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        out = {}
+        for nodes in (20, 100):
+            scenario = DenseNetworkScenario(seed=1)
+            channel = scenario.channel_scenario(11, max_nodes=nodes, seed=6)
+            out[nodes] = channel.run(superframes=12, backend="vectorized")
+        return out
+
+    def test_failure_probability_grows_with_population(self, summaries):
+        assert summaries[100].failure_probability > \
+            summaries[20].failure_probability
+
+    def test_full_channel_failure_rate_near_paper_regime(self, summaries):
+        # The paper's analytical figure is 16 % at load 0.42; the packet
+        # simulation of the full channel must land in the same regime.
+        assert 0.05 < summaries[100].failure_probability < 0.40
+
+    def test_power_in_model_regime(self, summaries):
+        # Section 5 reports ~211 uW with link adaptation; at fixed 0 dBm the
+        # simulated value must stay in the same order of magnitude.
+        for summary in summaries.values():
+            assert 50e-6 < summary.mean_node_power_w < 1e-3
+
+    def test_delay_dominated_by_stagger_within_superframe(self, summaries):
+        interval = DenseNetworkScenario(seed=1).superframe_config().beacon_interval_s
+        for summary in summaries.values():
+            assert 0.0 < summary.mean_delivery_delay_s < interval

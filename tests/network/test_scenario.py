@@ -96,3 +96,38 @@ class TestChannelScenario:
         config = SuperframeConfig(beacon_order=3, superframe_order=3)
         with pytest.raises(ValueError):
             ChannelScenario(nodes, config).run(superframes=0)
+
+    def test_unassigned_tx_power_without_default_raises(self):
+        """Regression: unassigned powers used to silently become 0 dBm."""
+        nodes = [SensorNode(node_id=1, channel=11, path_loss_db=65.0)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        with pytest.raises(ValueError, match="transmit power"):
+            ChannelScenario(nodes, config).run(superframes=2)
+
+    def test_scenario_default_tx_power_applies_to_unassigned_nodes(self):
+        nodes = [SensorNode(node_id=1, channel=11, path_loss_db=65.0),
+                 SensorNode(node_id=2, channel=11, path_loss_db=80.0,
+                            tx_power_dbm=-5.0)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        channel = ChannelScenario(nodes, config, default_tx_power_dbm=-10.0)
+        assert channel.resolved_tx_levels_dbm() == [-10.0, -5.0]
+
+    def test_dense_scenario_resolves_configured_tx_level(self):
+        scenario = DenseNetworkScenario(total_nodes=16, channels=[11],
+                                        beacon_order=3, seed=5,
+                                        tx_power_dbm=-7.0)
+        channel = scenario.channel_scenario(11, max_nodes=4)
+        assert channel.resolved_tx_levels_dbm() == [-7.0] * 4
+        summary = channel.run(superframes=2)
+        assert summary.packets_attempted > 0
+
+    def test_zero_delivery_channel_has_none_delay(self):
+        """Regression: an all-out-of-range channel used to report NaN."""
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=130.0,
+                            tx_power_dbm=0.0) for i in range(1, 4)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        summary = ChannelScenario(nodes, config, payload_bytes=60,
+                                  seed=1).run(superframes=3)
+        assert summary.packets_delivered == 0
+        assert summary.mean_delivery_delay_s is None
+        assert summary.failure_probability == 1.0

@@ -87,6 +87,33 @@ class TestResultCacheIntegration:
         assert not run.cache_hit
         assert len(ResultCache(root=tmp_path)) == 0
 
+    def test_seed_none_bypasses_the_cache(self, tmp_path):
+        """Regression: seed=None runs draw unpredictable task seeds, so
+        caching them would replay one arbitrary draw as deterministic.
+        Neither lookup nor store may touch the cache."""
+        first = run_experiment("fig6_csma", params=TINY_FIG6,
+                               cache_root=tmp_path, seed=None)
+        assert not first.cache_hit
+        assert len(ResultCache(root=tmp_path)) == 0  # nothing stored
+        second = run_experiment("fig6_csma", params=TINY_FIG6,
+                                cache_root=tmp_path, seed=None)
+        assert not second.cache_hit  # and nothing replayed
+
+    def test_seed_none_does_not_read_a_poisoned_entry(self, tmp_path):
+        """Even an artifact stored under the seed=None key (by an older
+        version of the engine) must not be replayed."""
+        from repro.runner.drivers import jsonify
+        from repro.runner.registry import default_registry
+
+        resolved = default_registry().get("fig6_csma").resolve_params(TINY_FIG6)
+        cache = ResultCache(root=tmp_path)
+        key = cache.key("fig6_csma", jsonify(dict(resolved)), None)
+        cache.store(key, {"payload": {"rows": [{"poisoned": True}]}})
+        run = run_experiment("fig6_csma", params=TINY_FIG6,
+                             cache_root=tmp_path, seed=None)
+        assert not run.cache_hit
+        assert run.rows and "poisoned" not in run.rows[0]
+
 
 class TestPayloadShape:
     def test_fig6_payload_is_json_rows(self, tmp_path):
