@@ -1,0 +1,58 @@
+"""Sweep subsystem bench — dispatch overhead and cache-resume speedup.
+
+Records three numbers for the quick node-density sweep over the full-scale
+simulator: the cold serial run, the parallel run, and the fully cache-served
+re-run.  What must always hold is row equality across the three strategies
+and a resume that recomputes nothing; the speedups themselves are recorded,
+not asserted (a single-core runner cannot win with a process pool).
+
+Full mode additionally sizes the sweep up (more points per axis) so the
+per-point dispatch overhead is measured against realistic design spaces;
+``REPRO_BENCH_QUICK`` keeps CI at the registered quick variant.
+"""
+
+import os
+import time
+
+from repro.sweep import get_sweep, pareto_front, run_sweep
+
+BENCH_QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def test_bench_sweep_dispatch_and_resume(benchmark, tmp_path):
+    jobs = min(4, os.cpu_count() or 1)
+    spec = get_sweep("node_density", quick=True)
+    if not BENCH_QUICK:
+        # Full bench: a denser quick-scale grid (still laptop-friendly).
+        from repro.sweep import GridAxis, SweepSpec
+        spec = SweepSpec(
+            name="node_density_bench", experiment=spec.experiment,
+            axes={"total_nodes": GridAxis((8, 16, 24, 32, 48, 64, 96))},
+            base_params=dict(spec.base_params, superframes=8),
+            objectives=dict(spec.objectives))
+
+    start = time.perf_counter()
+    serial = run_sweep(spec, cache=False)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(spec, jobs=jobs, cache=False)
+    parallel_s = time.perf_counter() - start
+
+    # Resume: first run populates the cache, the benchmarked run replays.
+    run_sweep(spec, cache_root=tmp_path)
+    resumed = benchmark.pedantic(
+        lambda: run_sweep(spec, cache_root=tmp_path),
+        rounds=3, iterations=1)
+
+    print()
+    print(f"points: {len(serial.points)}")
+    print(f"serial (1 job):      {serial_s:8.3f} s")
+    print(f"parallel ({jobs} jobs):   {parallel_s:8.3f} s "
+          f"(speedup x{serial_s / max(parallel_s, 1e-9):.2f})")
+    print(f"cache resume:        {resumed.elapsed_s:8.5f} s "
+          f"(speedup x{serial_s / max(resumed.elapsed_s, 1e-9):.0f})")
+
+    assert serial.rows == parallel.rows == resumed.rows
+    assert resumed.computed_points == 0
+    assert pareto_front(resumed.rows, spec.objectives)

@@ -20,7 +20,11 @@ The library is organised bottom-up:
 * :mod:`repro.experiments` — one driver per figure/table of the paper;
 * :mod:`repro.runner` — the experiment engine: registry, process-pool
   executors and a content-addressed result cache behind the
-  ``python -m repro`` CLI.
+  ``python -m repro`` CLI;
+* :mod:`repro.sweep` — design-space exploration over registered
+  experiments: declarative axes, cache-resuming sweep driver, Pareto
+  analysis and byte-reproducible artifact exports
+  (``python -m repro sweep``).
 
 Quick start
 -----------

@@ -45,6 +45,7 @@ def run_full_case_study(total_nodes: int = 1600,
                         num_channels: Optional[int] = None,
                         superframes: int = 50,
                         beacon_order: int = 6,
+                        superframe_order: Optional[int] = None,
                         payload_bytes: int = 120,
                         nodes_per_channel_cap: Optional[int] = None,
                         backend: str = "vectorized",
@@ -56,6 +57,7 @@ def run_full_case_study(total_nodes: int = 1600,
     """Simulate the dense network at full scale and report the trends.
 
     Parameters mirror :class:`repro.network.spec.ScenarioSpec`;
+    ``superframe_order`` of ``None`` means SO = BO (no inactive portion),
     ``nodes_per_channel_cap`` truncates channel populations for scaled-down
     runs (tests, quick CLI smoke), ``executor`` fans the channels out.
     """
@@ -64,6 +66,7 @@ def run_full_case_study(total_nodes: int = 1600,
         total_nodes=total_nodes,
         num_channels=num_channels,
         beacon_order=beacon_order,
+        superframe_order=superframe_order,
         payload_bytes=payload_bytes,
         battery_life_extension=battery_life_extension,
         csma_convention=csma_convention,

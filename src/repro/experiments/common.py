@@ -60,8 +60,10 @@ def _disk_cached_table(num_windows: int, seed: int) -> ContentionTable:
                                    num_windows=num_windows)
     if cache is not None:
         try:
+            from repro.runner.cache import code_version
             cache.store(key, {"experiment": "fast_contention_table",
                               "params": params, "seed": seed,
+                              "code_version": code_version(),
                               "table": table.to_payload()})
         except OSError:
             pass

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
@@ -165,12 +166,25 @@ class ResultCache:
         return False
 
     # -- maintenance --------------------------------------------------------------
+    #: Shape of a stored key: 64 lowercase hex digits (sha-256).
+    _KEY_PATTERN = re.compile(r"[0-9a-f]{64}")
+
     def keys(self) -> Iterator[str]:
-        """All stored keys."""
+        """All stored keys.
+
+        Only files matching the content-addressed layout
+        (``<key[:2]>/<key>.json`` with a 64-hex-digit key) count — an
+        unrelated JSON file that happens to live under the cache root must
+        never be treated (or deleted!) as a cache entry by
+        :meth:`clear`/:meth:`prune_stale`.
+        """
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("*/*.json")):
-            yield path.stem
+            key = path.stem
+            if self._KEY_PATTERN.fullmatch(key) and \
+                    path.parent.name == key[:2]:
+                yield key
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -180,6 +194,28 @@ class ResultCache:
         removed = 0
         for key in list(self.keys()):
             removed += int(self.invalidate(key))
+        return removed
+
+    def prune_stale(self, version: Optional[str] = None) -> int:
+        """Drop entries whose embedded code-version token is not ``version``.
+
+        Cache keys hash the code version, so an artifact written by an
+        older source tree can never be *hit* again — it just accumulates on
+        disk.  This removes every such unreachable entry; artifacts without
+        a ``code_version`` field predate the stamping convention (they were
+        by definition written by an older tree) and are pruned too.
+        ``version`` defaults to the current :func:`code_version`.  Returns
+        the number of entries removed.
+        """
+        current = version if version is not None else code_version()
+        removed = 0
+        for key in list(self.keys()):
+            artifact = self.load(key)
+            if artifact is None:  # corrupt: load() already unlinked it
+                removed += 1
+                continue
+            if artifact.get("code_version") != current:
+                removed += int(self.invalidate(key))
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

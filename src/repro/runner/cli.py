@@ -6,12 +6,16 @@ Usage (with ``src`` on ``PYTHONPATH`` or the package installed)::
     python -m repro run fig6_csma --jobs 2    # run one experiment in parallel
     python -m repro run case_study --no-cache # force a recomputation
     python -m repro run fig6_csma --param num_windows=4
+    python -m repro run fig6_csma --output csv --output-file rows.csv
+    python -m repro sweep run node_density    # design-space exploration
     python -m repro cache                     # cache statistics
     python -m repro cache --clear             # drop every artifact
+    python -m repro cache prune --keep-current  # drop stale-code entries
 
 ``run`` prints the result rows as an ASCII table plus, when the experiment
 produces one, the paper-vs-measured report; the exit status is 0 whenever
-the run completed (tolerance misses are reported, not fatal).
+the run completed (tolerance misses are reported, not fatal).  The ``sweep``
+command tree lives in :mod:`repro.sweep.cli`.
 """
 
 from __future__ import annotations
@@ -26,9 +30,22 @@ from repro.runner.cache import ResultCache, code_version
 from repro.runner.engine import DEFAULT_SEED, run_experiment
 from repro.runner.registry import UnknownExperimentError, default_registry
 
+#: Bare-word spellings normalised to Python literals by ``--param`` — the
+#: shell-friendly lowercase forms users type (``ast.literal_eval`` already
+#: handles the canonical ``True``/``False``/``None``).
+_PARAM_LITERALS: Dict[str, Any] = {"true": True, "false": False,
+                                   "none": None, "null": None}
+
 
 def _parse_param(text: str) -> "tuple[str, Any]":
-    """Parse one ``--param key=value`` override (value via literal_eval)."""
+    """Parse one ``--param key=value`` override.
+
+    The value is evaluated as a Python literal when possible; the common
+    bare words ``true``/``false``/``none``/``null`` (any case) normalise to
+    the corresponding literal, and anything else stays a plain string.
+    Only the *first* ``=`` splits key from value, so ``key=a=b`` assigns
+    the string ``"a=b"``.
+    """
     key, separator, raw = text.partition("=")
     if not separator or not key:
         raise argparse.ArgumentTypeError(
@@ -36,7 +53,11 @@ def _parse_param(text: str) -> "tuple[str, Any]":
     try:
         value = ast.literal_eval(raw)
     except (ValueError, SyntaxError):
-        value = raw  # plain string value
+        lowered = raw.strip().lower()
+        if lowered in _PARAM_LITERALS:
+            value = _PARAM_LITERALS[lowered]
+        else:
+            value = raw  # plain string value
     return key, value
 
 
@@ -73,13 +94,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--quiet", "-q", action="store_true",
                             help="suppress the row table, print the summary "
                                  "line only")
+    run_parser.add_argument("--output", choices=["csv", "json"], default=None,
+                            help="emit the result rows as CSV or JSON "
+                                 "(to stdout, or to --output-file)")
+    run_parser.add_argument("--output-file", default=None, metavar="PATH",
+                            help="write the rows to PATH instead of stdout "
+                                 "(format from --output, else the file "
+                                 "extension)")
 
     cache_parser = commands.add_parser(
-        "cache", help="inspect or clear the result cache")
+        "cache", help="inspect, clear or prune the result cache")
+    cache_parser.add_argument("action", nargs="?", choices=["show", "prune"],
+                              default="show",
+                              help="'show' lists artifacts (default); "
+                                   "'prune' deletes entries by criterion")
     cache_parser.add_argument("--cache-dir", default=None,
                               help="cache directory to inspect")
     cache_parser.add_argument("--clear", action="store_true",
                               help="remove every stored artifact")
+    cache_parser.add_argument("--keep-current", action="store_true",
+                              help="with 'prune': delete entries whose "
+                                   "embedded code-version token differs "
+                                   "from the current sources")
+
+    # Imported here, not at module scope: the sweep package sits *above*
+    # the runner in the layering (it imports repro.runner.engine), so the
+    # runner must not depend on it at import time.
+    from repro.sweep.cli import add_sweep_parser
+    add_sweep_parser(commands)
     return parser
 
 
@@ -132,16 +174,47 @@ def _command_run(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    if not arguments.quiet:
+    emit_stdout_rows = arguments.output and not arguments.output_file
+    if not arguments.quiet and not emit_stdout_rows:
         _print_rows(run.rows, title=f"{run.spec.name} ({run.spec.figure})")
         report = run.payload.get("report")
         if report:
             print()
             _print_report(report)
-    source = "cache" if run.cache_hit else f"computed with {run.jobs} job(s)"
-    print(f"{run.spec.name}: {len(run.rows)} rows in {run.elapsed_s:.3f}s "
-          f"[{source}] seed={run.seed} key={run.cache_key[:12]}")
+    summary = (f"{run.spec.name}: {len(run.rows)} rows in "
+               f"{run.elapsed_s:.3f}s "
+               f"[{'cache' if run.cache_hit else f'computed with {run.jobs} job(s)'}] "
+               f"seed={run.seed} key={run.cache_key[:12]}")
+    if emit_stdout_rows:
+        # Rows own stdout (pipeable CSV/JSON); the summary moves to stderr.
+        from repro.sweep.artifacts import rows_to_csv_text, rows_to_json_text
+        text = (rows_to_json_text(run.rows) if arguments.output == "json"
+                else rows_to_csv_text(run.rows, columns=_csv_columns(run)))
+        sys.stdout.write(text)
+        print(summary, file=sys.stderr)
+        return 0
+    if arguments.output_file:
+        from repro.sweep.artifacts import write_rows
+        path = write_rows(run.rows, arguments.output_file,
+                          fmt=arguments.output, columns=_csv_columns(run))
+        print(f"wrote {len(run.rows)} rows to {path}")
+    print(summary)
     return 0
+
+
+def _csv_columns(run) -> List[str]:
+    """Deterministic CSV column order for the ``run`` exporter.
+
+    A cache-served payload comes back with JSON-sorted row keys while a
+    fresh run keeps driver insertion order — exports must not depend on
+    which one happened.  The spec's declared ``output_names`` (in their
+    documented order) come first, any extra row keys follow sorted.
+    """
+    from repro.sweep.artifacts import ordered_columns
+    present = ordered_columns(run.rows)
+    declared = [name for name in run.spec.output_names if name in present]
+    return declared + sorted(name for name in present
+                             if name not in declared)
 
 
 def _print_report(report: Dict[str, Any]) -> None:
@@ -164,6 +237,16 @@ def _print_report(report: Dict[str, Any]) -> None:
 
 def _command_cache(arguments: argparse.Namespace) -> int:
     cache = ResultCache(root=arguments.cache_dir)
+    if arguments.action == "prune":
+        if not arguments.keep_current:
+            print("error: 'cache prune' needs a criterion; use "
+                  "--keep-current to drop entries from older code versions",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune_stale()
+        print(f"pruned {removed} stale artifact(s) from {cache.root} "
+              f"(kept code version {code_version()})")
+        return 0
     if arguments.clear:
         removed = cache.clear()
         print(f"removed {removed} artifact(s) from {cache.root}")
@@ -180,9 +263,13 @@ def _command_cache(arguments: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the exit status."""
     arguments = build_parser().parse_args(argv)
-    handler = {"list": _command_list,
-               "run": _command_run,
-               "cache": _command_cache}[arguments.command]
+    if arguments.command == "sweep":
+        from repro.sweep.cli import command_sweep
+        handler = command_sweep
+    else:
+        handler = {"list": _command_list,
+                   "run": _command_run,
+                   "cache": _command_cache}[arguments.command]
     try:
         return handler(arguments)
     except BrokenPipeError:

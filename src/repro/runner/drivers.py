@@ -27,6 +27,7 @@ from repro.contention.tables import ContentionTable, build_contention_table
 from repro.core.energy_model import EnergyModel
 from repro.experiments.common import TABLE_LOADS, TABLE_SIZES
 from repro.mac.frames import total_packet_overhead_bytes
+from repro.runner.cache import code_version
 from repro.runner.registry import ExperimentRegistry, ExperimentSpec, RunContext
 
 #: Grid of the shared engine characterisation — the same axes
@@ -120,6 +121,7 @@ def engine_contention_table(context: RunContext, num_windows: int = 15,
         context.cache.store(key, {"experiment": "contention_table",
                                   "params": jsonify(params),
                                   "seed": context.seed,
+                                  "code_version": code_version(),
                                   "table": jsonify(table.to_payload())})
     except OSError:
         pass  # unwritable cache: keep the freshly built table anyway
@@ -297,6 +299,7 @@ def run_case_study_full(params: Mapping[str, Any],
         num_channels=params["num_channels"],
         superframes=params["superframes"],
         beacon_order=params["beacon_order"],
+        superframe_order=params["superframe_order"],
         payload_bytes=params["payload_bytes"],
         nodes_per_channel_cap=int(cap) if cap is not None else None,
         backend=params["backend"],
@@ -417,6 +420,7 @@ def build_default_registry() -> ExperimentRegistry:
         runner=run_case_study_full,
         default_params={"total_nodes": 1600, "num_channels": None,
                         "superframes": 50, "beacon_order": 6,
+                        "superframe_order": None,
                         "payload_bytes": 120, "nodes_per_channel_cap": None,
                         "backend": "vectorized",
                         "battery_life_extension": False,

@@ -1,0 +1,77 @@
+"""Design-space exploration: declarative sweeps over registered experiments.
+
+The subsystem turns any experiment of the engine's registry into a
+multi-point design-space study:
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec` with grid/range/seeded-random
+  axes, stable JSON serialisation and a content hash;
+* :mod:`repro.sweep.driver` — :func:`run_sweep`: expansion into engine
+  tasks, chunk-wise dispatch through the serial/process-pool executors,
+  per-point cache keys so interrupted or repeated sweeps resume from the
+  result cache instead of recomputing;
+* :mod:`repro.sweep.analysis` — grouping/aggregation helpers, Pareto-front
+  extraction and knee-point selection over arbitrary objectives;
+* :mod:`repro.sweep.artifacts` — byte-reproducible CSV/JSON exports plus a
+  manifest (spec hash, code version, seeds, cache keys);
+* :mod:`repro.sweep.catalog` — the registered headline sweeps
+  (``node_density``, ``duty_cycle``, ``tx_policy``);
+* :mod:`repro.sweep.cli` — the ``python -m repro sweep`` command tree.
+
+Quick start::
+
+    from repro.sweep import GridAxis, SweepSpec, run_sweep, pareto_front
+
+    spec = SweepSpec(name="density", experiment="case_study_full",
+                     axes={"total_nodes": GridAxis((400, 1600, 3200))},
+                     objectives={"mean_power_uw": "min",
+                                 "failure_probability": "min"})
+    result = run_sweep(spec, jobs=4)          # re-run resumes from cache
+    front = pareto_front(result.rows, spec.objectives)
+"""
+
+from repro.sweep.analysis import (aggregate_rows, dominates, group_rows,
+                                  knee_point, pareto_front)
+from repro.sweep.artifacts import (export_sweep, ordered_columns,
+                                   rows_to_csv_text, rows_to_json_text,
+                                   sweep_manifest, write_rows)
+from repro.sweep.catalog import (SweepDefinition, UnknownSweepError,
+                                 get_definition, get_sweep, iter_definitions,
+                                 sweep_names)
+from repro.sweep.driver import (SweepPoint, SweepRunResult, SweepStatus,
+                                expand_points, extract_point_metrics,
+                                run_sweep, sweep_status)
+from repro.sweep.spec import (GridAxis, RandomAxis, RangeAxis, SweepSpec,
+                              axis_from_payload, spec_from_payload)
+
+__all__ = [
+    "GridAxis",
+    "RandomAxis",
+    "RangeAxis",
+    "SweepDefinition",
+    "SweepPoint",
+    "SweepRunResult",
+    "SweepSpec",
+    "SweepStatus",
+    "UnknownSweepError",
+    "aggregate_rows",
+    "axis_from_payload",
+    "dominates",
+    "expand_points",
+    "export_sweep",
+    "extract_point_metrics",
+    "get_definition",
+    "get_sweep",
+    "group_rows",
+    "iter_definitions",
+    "knee_point",
+    "ordered_columns",
+    "pareto_front",
+    "rows_to_csv_text",
+    "rows_to_json_text",
+    "run_sweep",
+    "spec_from_payload",
+    "sweep_manifest",
+    "sweep_names",
+    "sweep_status",
+    "write_rows",
+]

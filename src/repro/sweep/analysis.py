@@ -1,0 +1,175 @@
+"""Analysis helpers over sweep rows: grouping, Pareto fronts, knee points.
+
+All helpers operate on plain row dicts (the wide rows of
+:class:`repro.sweep.driver.SweepRunResult` — or any list of dicts), so they
+compose with the artifact writers and with hand-built tables alike.
+
+*Objectives* are a mapping ``metric name -> "min" | "max"``.  Internally
+every objective is turned into a cost (max objectives are negated) and
+missing values (``None`` or absent keys) are treated as *worst possible* —
+a point that never delivered a packet has no delay to report, and must not
+dominate a point that did.
+
+>>> rows = [{"power": 1.0, "fail": 0.5}, {"power": 2.0, "fail": 0.1},
+...         {"power": 3.0, "fail": 0.5}]
+>>> front = pareto_front(rows, {"power": "min", "fail": "min"})
+>>> [row["power"] for row in front]
+[1.0, 2.0]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (Any, Callable, Dict, Hashable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from repro.sweep.spec import SENSE_MAX, SENSE_MIN
+
+#: Statistics understood by :func:`aggregate_rows`.
+_STATISTICS: Dict[str, Callable[[List[float]], float]] = {
+    "mean": lambda values: sum(values) / len(values),
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": len,
+}
+
+
+def _cost_vector(row: Mapping[str, Any],
+                 objectives: Mapping[str, str]) -> Tuple[float, ...]:
+    """The row's objectives as minimisation costs (missing -> +inf)."""
+    costs: List[float] = []
+    for metric, sense in objectives.items():
+        value = row.get(metric)
+        if value is None or not isinstance(value, (int, float)) \
+                or isinstance(value, bool) or math.isnan(value):
+            costs.append(math.inf)
+        elif sense == SENSE_MAX:
+            costs.append(-float(value))
+        else:
+            costs.append(float(value))
+    return tuple(costs)
+
+
+def _validate_objectives(objectives: Mapping[str, str]) -> None:
+    if not objectives:
+        raise ValueError("At least one objective is required")
+    for metric, sense in objectives.items():
+        if sense not in (SENSE_MIN, SENSE_MAX):
+            raise ValueError(f"Objective {metric!r} has sense {sense!r}; "
+                             f"use '{SENSE_MIN}' or '{SENSE_MAX}'")
+
+
+def dominates(row: Mapping[str, Any], other: Mapping[str, Any],
+              objectives: Mapping[str, str]) -> bool:
+    """Whether ``row`` Pareto-dominates ``other``.
+
+    ``row`` dominates when it is at least as good in every objective and
+    strictly better in at least one.
+    """
+    _validate_objectives(objectives)
+    a = _cost_vector(row, objectives)
+    b = _cost_vector(other, objectives)
+    return all(x <= y for x, y in zip(a, b)) and \
+        any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(rows: Sequence[Mapping[str, Any]],
+                 objectives: Mapping[str, str]) -> List[Dict[str, Any]]:
+    """The non-dominated subset of ``rows``, in input order.
+
+    Points whose *every* objective is missing (all-``inf`` cost vectors)
+    are excluded — they carry no trade-off information.  Ties (identical
+    cost vectors) all stay on the front.
+    """
+    _validate_objectives(objectives)
+    costs = [_cost_vector(row, objectives) for row in rows]
+    front: List[Dict[str, Any]] = []
+    for i, (row, cost) in enumerate(zip(rows, costs)):
+        if all(math.isinf(component) for component in cost):
+            continue
+        dominated = any(
+            all(x <= y for x, y in zip(other, cost)) and
+            any(x < y for x, y in zip(other, cost))
+            for j, other in enumerate(costs) if j != i)
+        if not dominated:
+            front.append(dict(row))
+    return front
+
+
+def knee_point(rows: Sequence[Mapping[str, Any]],
+               objectives: Mapping[str, str]) -> Optional[Dict[str, Any]]:
+    """The balanced trade-off point of a front (utopia-distance rule).
+
+    Every objective is normalised to ``[0, 1]`` over the given rows (a
+    degenerate objective with zero spread contributes nothing) and the row
+    closest to the all-best corner in Euclidean distance wins; ties go to
+    the earliest row.  Typically called on the output of
+    :func:`pareto_front`; returns ``None`` for no (usable) rows.
+    """
+    _validate_objectives(objectives)
+    usable = [(row, _cost_vector(row, objectives)) for row in rows]
+    usable = [(row, cost) for row, cost in usable
+              if not any(math.isinf(component) for component in cost)]
+    if not usable:
+        return None
+    dimensions = len(objectives)
+    lows = [min(cost[d] for _, cost in usable) for d in range(dimensions)]
+    highs = [max(cost[d] for _, cost in usable) for d in range(dimensions)]
+    best, best_distance = None, math.inf
+    for row, cost in usable:
+        distance = 0.0
+        for d in range(dimensions):
+            span = highs[d] - lows[d]
+            if span > 0:
+                distance += ((cost[d] - lows[d]) / span) ** 2
+        distance = math.sqrt(distance)
+        if distance < best_distance:
+            best, best_distance = row, distance
+    return dict(best) if best is not None else None
+
+
+def group_rows(rows: Sequence[Mapping[str, Any]],
+               by: Sequence[str]) -> "Dict[Tuple[Hashable, ...], List[Dict[str, Any]]]":
+    """Group rows by the values of the ``by`` columns (insertion-ordered)."""
+    if not by:
+        raise ValueError("group_rows needs at least one key column")
+    groups: Dict[Tuple[Hashable, ...], List[Dict[str, Any]]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in by)
+        groups.setdefault(key, []).append(dict(row))
+    return groups
+
+
+def aggregate_rows(rows: Sequence[Mapping[str, Any]],
+                   by: Sequence[str],
+                   metrics: Sequence[str],
+                   statistics: Sequence[str] = ("mean",)
+                   ) -> List[Dict[str, Any]]:
+    """Aggregate metric columns over groups of rows.
+
+    Produces one row per group with the ``by`` columns plus
+    ``<metric>_<statistic>`` columns; ``None``/missing metric values are
+    skipped, and a group with no usable values reports ``None``.
+
+    >>> rows = [{"bo": 3, "p": 1.0}, {"bo": 3, "p": 3.0}, {"bo": 6, "p": 5.0}]
+    >>> aggregate_rows(rows, by=["bo"], metrics=["p"])
+    [{'bo': 3, 'p_mean': 2.0}, {'bo': 6, 'p_mean': 5.0}]
+    """
+    unknown = [stat for stat in statistics if stat not in _STATISTICS]
+    if unknown:
+        raise ValueError(f"Unknown statistics {unknown}; "
+                         f"known: {', '.join(sorted(_STATISTICS))}")
+    aggregated: List[Dict[str, Any]] = []
+    for key, group in group_rows(rows, by).items():
+        out: Dict[str, Any] = dict(zip(by, key))
+        for metric in metrics:
+            values = [row[metric] for row in group
+                      if isinstance(row.get(metric), (int, float))
+                      and not isinstance(row.get(metric), bool)
+                      and not math.isnan(row[metric])]
+            for stat in statistics:
+                out[f"{metric}_{stat}"] = \
+                    _STATISTICS[stat](values) if values else None
+        aggregated.append(out)
+    return aggregated

@@ -1,0 +1,149 @@
+"""Artifact writers: CSV/JSON row exports and the sweep manifest.
+
+The writers are deliberately boring — plain ``csv`` and ``json`` with fixed,
+deterministic formatting — because the contract is byte-for-byte
+reproducibility: running the same sweep spec twice (same axes, same seed,
+same code version) must export identical files.  Nothing time- or
+host-dependent is ever written; wall-clock diagnostics stay on the console.
+
+``write_rows_csv``/``write_rows_json`` are shared with the engine CLI's
+``run --output`` exporter, so single-run rows and sweep tables serialise
+identically.
+
+Layout of :func:`export_sweep`::
+
+    <out_dir>/<name>.csv            wide rows (one line per design point)
+    <out_dir>/<name>.long.csv       tidy long rows (one line per point, metric)
+    <out_dir>/<name>.json           {"manifest": ..., "rows": ..., "long_rows": ...}
+    <out_dir>/<name>.manifest.json  spec payload + hash, code version, seeds, keys
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.runner.cache import code_version
+from repro.sweep.driver import SweepRunResult
+
+#: Formats the row writers (and the CLI ``--output`` flag) understand.
+ROW_FORMATS = ("csv", "json")
+
+
+def ordered_columns(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Union of the rows' keys, in first-seen order."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_csv_text(rows: Sequence[Mapping[str, Any]],
+                     columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (missing values and ``None`` are empty)."""
+    columns = list(columns) if columns is not None else ordered_columns(rows)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow(["" if row.get(column) is None else row.get(column)
+                         for column in columns])
+    return buffer.getvalue()
+
+
+def rows_to_json_text(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render rows as pretty-printed JSON text (stable key order)."""
+    return json.dumps(list(rows), indent=2, sort_keys=True) + "\n"
+
+
+def write_rows(rows: Sequence[Mapping[str, Any]], path: os.PathLike,
+               fmt: Optional[str] = None,
+               columns: Optional[Sequence[str]] = None) -> Path:
+    """Write rows to ``path`` as CSV or JSON.
+
+    ``fmt`` of ``None`` is inferred from the file extension (``.json`` ->
+    JSON, anything else -> CSV).
+    """
+    path = Path(path)
+    if fmt is None:
+        fmt = "json" if path.suffix.lower() == ".json" else "csv"
+    if fmt not in ROW_FORMATS:
+        raise ValueError(f"Unknown row format {fmt!r}; "
+                         f"choose one of {', '.join(ROW_FORMATS)}")
+    if fmt == "json":
+        text = rows_to_json_text(rows)
+    else:
+        text = rows_to_csv_text(rows, columns=columns)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def sweep_manifest(result: SweepRunResult) -> Dict[str, Any]:
+    """Everything needed to reproduce (and verify) a sweep's exports.
+
+    Contains the full spec payload and its stable hash, the code-version
+    token, the master seed, and every point's parameters and engine cache
+    key.  Deliberately excludes wall-clock and cache-hit diagnostics: two
+    runs of the same spec on the same code produce identical manifests.
+    """
+    spec = result.spec
+    return {
+        "kind": "repro-sweep-manifest",
+        "sweep": spec.to_payload(),
+        "spec_hash": spec.spec_hash(),
+        "experiment": spec.experiment,
+        "seed": spec.seed,
+        "code_version": code_version(),
+        "num_points": len(result.points),
+        "metric_names": list(result.metric_names),
+        "points": [{"index": point.index,
+                    "axis_values": dict(point.axis_values),
+                    "params": dict(point.params),
+                    "cache_key": point.cache_key}
+                   for point in result.points],
+    }
+
+
+def manifest_text(result: SweepRunResult) -> str:
+    """The manifest as deterministic JSON text."""
+    return json.dumps(sweep_manifest(result), indent=2, sort_keys=True) + "\n"
+
+
+def export_sweep(result: SweepRunResult, out_dir: os.PathLike,
+                 name: Optional[str] = None) -> Dict[str, Path]:
+    """Write the sweep's CSV/JSON tables and manifest into ``out_dir``.
+
+    Returns the written paths keyed by artifact kind (``"csv"``,
+    ``"long_csv"``, ``"json"``, ``"manifest"``).  Exports are byte-for-byte
+    reproducible for a fixed spec and code version.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    name = name or result.spec.name
+    manifest = sweep_manifest(result)
+    wide_columns = (["point"] + result.spec.axis_names()
+                    + list(result.metric_names))
+    long_rows = result.long_rows()
+
+    paths = {
+        "csv": write_rows(result.rows, out_dir / f"{name}.csv", fmt="csv",
+                          columns=wide_columns),
+        "long_csv": write_rows(long_rows, out_dir / f"{name}.long.csv",
+                               fmt="csv"),
+        "manifest": out_dir / f"{name}.manifest.json",
+        "json": out_dir / f"{name}.json",
+    }
+    paths["manifest"].write_text(manifest_text(result), encoding="utf-8")
+    combined = {"manifest": manifest, "rows": list(result.rows),
+                "long_rows": long_rows}
+    paths["json"].write_text(
+        json.dumps(combined, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return paths

@@ -1,0 +1,150 @@
+"""Catalogue of the registered headline sweeps.
+
+Three design-space explorations over the full-scale packet-level simulator
+(``case_study_full``), each capturing one axis of the paper's Section 5/6
+trade-off story:
+
+* ``node_density`` — energy/reliability/latency vs network population;
+* ``duty_cycle`` — the BO/SO superframe structure: full-active (SO = BO)
+  against a duty-cycled CAP (SO fixed) across beacon orders;
+* ``tx_policy`` — channel-inversion link adaptation against fixed 0 dBm
+  transmit power, across payload sizes.
+
+Every sweep has a *quick* variant (``get_sweep(name, quick=True)``) that
+shrinks the population, channel count and horizon so CI can smoke the whole
+pipeline — expansion, cache-resume, Pareto analysis, export — in seconds.
+The quick variant is a different spec (different base parameters), so its
+manifest hash differs from the full run's; each variant's hash is stable
+across runs.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.sweep.spec import GridAxis, SweepSpec
+
+#: Objectives of the paper's trade-off story, shared by every headline
+#: sweep: average node power (uW), transaction failure probability, and
+#: mean in-superframe delivery delay — all minimised.
+TRADEOFF_OBJECTIVES = {
+    "mean_power_uw": "min",
+    "failure_probability": "min",
+    "mean_delivery_delay_s": "min",
+}
+
+
+class UnknownSweepError(KeyError):
+    """Raised when a sweep name is not in the catalogue."""
+
+    def __init__(self, name: str, known: Tuple[str, ...]):
+        self.name = name
+        self.known = known
+        suggestions = difflib.get_close_matches(name, known, n=3)
+        message = f"Unknown sweep {name!r}. Registered sweeps: " \
+                  f"{', '.join(known) or '(none)'}."
+        if suggestions:
+            message += f" Did you mean: {', '.join(suggestions)}?"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class SweepDefinition:
+    """One named entry of the catalogue."""
+
+    name: str
+    title: str
+    builder: Callable[[bool], SweepSpec]
+
+    def build(self, quick: bool = False) -> SweepSpec:
+        """The concrete spec (full-scale, or the quick CI variant)."""
+        return self.builder(quick)
+
+
+def _node_density(quick: bool) -> SweepSpec:
+    if quick:
+        axes = {"total_nodes": GridAxis((16, 32, 64))}
+        base = {"num_channels": 2, "superframes": 4}
+    else:
+        axes = {"total_nodes": GridAxis((400, 800, 1600, 2400, 3200))}
+        base = {}
+    return SweepSpec(
+        name="node_density", experiment="case_study_full", axes=axes,
+        base_params=base, objectives=TRADEOFF_OBJECTIVES,
+        title="Energy / reliability / latency vs node density "
+              "(full-scale packet-level simulation)")
+
+
+def _duty_cycle(quick: bool) -> SweepSpec:
+    if quick:
+        axes = {"beacon_order": GridAxis((3, 4, 5)),
+                "superframe_order": GridAxis((None, 3))}
+        base = {"total_nodes": 32, "num_channels": 2, "superframes": 6}
+    else:
+        axes = {"beacon_order": GridAxis((3, 4, 5, 6, 7)),
+                "superframe_order": GridAxis((None, 3))}
+        base = {}
+    return SweepSpec(
+        name="duty_cycle", experiment="case_study_full", axes=axes,
+        base_params=base, objectives=TRADEOFF_OBJECTIVES,
+        title="BO/SO duty-cycle structure: full-active (SO = BO) vs "
+              "duty-cycled CAP (SO = 3) across beacon orders")
+
+
+def _tx_policy(quick: bool) -> SweepSpec:
+    if quick:
+        axes = {"tx_policy": GridAxis(("adaptive", "fixed"))}
+        base = {"total_nodes": 32, "num_channels": 2, "superframes": 4}
+    else:
+        axes = {"tx_policy": GridAxis(("adaptive", "fixed")),
+                "payload_bytes": GridAxis((50, 120))}
+        base = {}
+    return SweepSpec(
+        name="tx_policy", experiment="case_study_full", axes=axes,
+        base_params=base, objectives=TRADEOFF_OBJECTIVES,
+        title="Channel-inversion link adaptation vs fixed 0 dBm transmit "
+              "power at full scale")
+
+
+_DEFINITIONS: Dict[str, SweepDefinition] = {
+    definition.name: definition for definition in (
+        SweepDefinition("node_density",
+                        "node-density sweep of the full-scale case study",
+                        _node_density),
+        SweepDefinition("duty_cycle",
+                        "BO/SO duty-cycle sweep of the full-scale case study",
+                        _duty_cycle),
+        SweepDefinition("tx_policy",
+                        "adaptive-vs-fixed TX-power sweep at full scale",
+                        _tx_policy),
+    )
+}
+
+
+def sweep_names() -> Tuple[str, ...]:
+    """All registered sweep names, sorted."""
+    return tuple(sorted(_DEFINITIONS))
+
+
+def iter_definitions() -> Iterator[SweepDefinition]:
+    """The catalogue entries, in name order."""
+    for name in sweep_names():
+        yield _DEFINITIONS[name]
+
+
+def get_definition(name: str) -> SweepDefinition:
+    """The catalogue entry for ``name`` (with close-match suggestions)."""
+    try:
+        return _DEFINITIONS[name]
+    except KeyError:
+        raise UnknownSweepError(name, sweep_names()) from None
+
+
+def get_sweep(name: str, quick: bool = False) -> SweepSpec:
+    """Build the named sweep's spec (quick CI variant on request)."""
+    return get_definition(name).build(quick)

@@ -1,0 +1,285 @@
+"""Sweep execution: expand a spec, dispatch points, resume from the cache.
+
+Every expanded point of a :class:`repro.sweep.spec.SweepSpec` is one
+:func:`repro.runner.engine.run_experiment` call, so it inherits the engine's
+whole machinery: parameter validation against the registry, per-point
+content-addressed cache keys and provenance-stamped artifacts.  The driver
+adds the fan-out — points ship chunk-wise through the existing
+serial/process-pool executors (:mod:`repro.runner.executor`) — and the
+resume semantics: a re-run (or an interrupted run picked up again) finds
+every finished point in the cache and recomputes nothing
+(``SweepRunResult.computed_points == 0`` on a warm second run).
+
+Results are collected two ways:
+
+* *wide* rows (:attr:`SweepRunResult.rows`) — one row per point:
+  ``{"point": i, <axis values...>, <metrics...>}``;
+* *tidy long* rows (:meth:`SweepRunResult.long_rows`) — one row per
+  ``(point, metric)``: ``{"point", <axis values...>, "metric", "value"}`` —
+  the format the analysis helpers and the CSV/JSON artifact writers consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.runner.cache import NullCache
+from repro.runner.engine import (_canonical_params, resolve_cache,
+                                 run_experiment)
+from repro.runner.executor import (SerialExecutor, make_executor,
+                                   run_ordered)
+from repro.runner.registry import ExperimentRegistry, default_registry
+from repro.sweep.spec import SweepSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded design point of a sweep.
+
+    ``axis_values`` is what the sweep varies; ``params`` the full override
+    mapping handed to the engine (base parameters + axis values);
+    ``cache_key`` the engine's content-addressed key of the point, which is
+    what makes sweeps resumable.
+    """
+
+    index: int
+    axis_values: Dict[str, Any]
+    params: Dict[str, Any]
+    cache_key: str
+
+
+@dataclass
+class SweepRunResult:
+    """Outcome of one :func:`run_sweep` call.
+
+    ``rows`` is the wide table (one dict per point, in expansion order);
+    ``computed_points``/``cached_points`` record how much work the cache
+    saved — a warm re-run of the same spec reports ``computed_points == 0``.
+    """
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+    rows: List[Dict[str, Any]]
+    computed_points: int
+    cached_points: int
+    elapsed_s: float
+    metric_names: List[str] = field(default_factory=list)
+
+    def long_rows(self) -> List[Dict[str, Any]]:
+        """Tidy long-format view: one row per (point, metric)."""
+        axis_names = self.spec.axis_names()
+        rows: List[Dict[str, Any]] = []
+        for wide in self.rows:
+            base = {"point": wide["point"]}
+            base.update({name: wide[name] for name in axis_names})
+            for metric in self.metric_names:
+                rows.append({**base, "metric": metric,
+                             "value": wide.get(metric)})
+        return rows
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Render the wide rows as an ASCII table."""
+        from repro.analysis.tables import format_table
+        headers = ["point"] + self.spec.axis_names() + self.metric_names
+        rows = [["-" if row.get(header) is None else row.get(header, "-")
+                 for header in headers] for row in self.rows]
+        return format_table(headers, rows,
+                            title=title or f"sweep {self.spec.name} "
+                                           f"({self.spec.experiment})")
+
+
+@dataclass
+class SweepStatus:
+    """Cache occupancy of a sweep without running anything."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+    done: List[bool]
+
+    @property
+    def done_count(self) -> int:
+        return sum(self.done)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.done) - self.done_count
+
+
+def expand_points(spec: SweepSpec,
+                  cache: Any = True,
+                  cache_root: Optional[str] = None,
+                  registry: Optional[ExperimentRegistry] = None
+                  ) -> List[SweepPoint]:
+    """Expand a spec into concrete points with their engine cache keys.
+
+    Axis and base parameter names are validated against the experiment's
+    ``default_params`` here (via ``resolve_params``), so a typo fails before
+    any simulation starts, and the computed keys are exactly the keys
+    :func:`repro.runner.engine.run_experiment` will use — resume for free.
+    """
+    registry = registry or default_registry()
+    experiment = registry.get(spec.experiment)
+    cache_obj = resolve_cache(cache, cache_root)
+    points: List[SweepPoint] = []
+    for index, axis_values in enumerate(spec.expand_axes()):
+        params = {**spec.base_params, **axis_values}
+        resolved = experiment.resolve_params(params)
+        key = cache_obj.key(experiment.name, _canonical_params(resolved),
+                            spec.seed)
+        points.append(SweepPoint(index=index, axis_values=dict(axis_values),
+                                 params=params, cache_key=key))
+    return points
+
+
+def sweep_status(spec: SweepSpec,
+                 cache: Any = True,
+                 cache_root: Optional[str] = None,
+                 registry: Optional[ExperimentRegistry] = None) -> SweepStatus:
+    """Which points of ``spec`` are already in the result cache."""
+    cache_obj = resolve_cache(cache, cache_root)
+    points = expand_points(spec, cache=cache_obj, cache_root=cache_root,
+                           registry=registry)
+    done = [cache_obj.load(point.cache_key) is not None for point in points]
+    return SweepStatus(spec=spec, points=points, done=done)
+
+
+def _is_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+def extract_point_metrics(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Reduce one experiment payload to the point's scalar metrics.
+
+    Experiments with a network-level ``"aggregate"`` dict (the full-scale
+    case study) contribute its scalars, with one level of nesting flattened
+    (``energy_by_phase_j.transmit`` ...).  Other experiments contribute
+    their scalar top-level payload fields plus ``num_rows``; single-row
+    payloads additionally lift the row's scalar columns.
+    """
+    metrics: Dict[str, Any] = {}
+    aggregate = payload.get("aggregate")
+    if isinstance(aggregate, Mapping):
+        for key, value in aggregate.items():
+            if isinstance(value, Mapping):
+                for subkey, subvalue in value.items():
+                    if _is_scalar(subvalue):
+                        metrics[f"{key}.{subkey}"] = subvalue
+            elif _is_scalar(value):
+                metrics[key] = value
+        return metrics
+    for key, value in payload.items():
+        if key in ("rows", "report"):
+            continue
+        if _is_scalar(value):
+            metrics[key] = value
+    rows = payload.get("rows") or []
+    metrics["num_rows"] = len(rows)
+    if len(rows) == 1 and isinstance(rows[0], Mapping):
+        for key, value in rows[0].items():
+            if _is_scalar(value):
+                metrics.setdefault(key, value)
+    return metrics
+
+
+def _run_point(task: Tuple[str, Dict[str, Any], int, Any, Optional[str],
+                           Optional[ExperimentRegistry]]) -> Dict[str, Any]:
+    """Task function of one sweep point (module-level, so picklable).
+
+    Runs the point serially *inside* its worker — the parallelism of a
+    sweep is across points, not within one — and returns only what the
+    parent needs (metrics + cache diagnostics), keeping the inter-process
+    payload small even when the experiment's rows are large.
+    """
+    experiment, params, seed, cache, cache_root, registry = task
+    run = run_experiment(experiment, params=params, jobs=1, seed=seed,
+                         cache=cache, cache_root=cache_root,
+                         registry=registry)
+    return {"cache_hit": run.cache_hit,
+            "cache_key": run.cache_key,
+            "elapsed_s": run.elapsed_s,
+            "metrics": extract_point_metrics(run.payload)}
+
+
+def run_sweep(spec: SweepSpec,
+              jobs: int = 1,
+              cache: Any = True,
+              cache_root: Optional[str] = None,
+              registry: Optional[ExperimentRegistry] = None,
+              executor=None,
+              on_point: Optional[Callable[[int, Dict[str, Any]], None]] = None
+              ) -> SweepRunResult:
+    """Run every point of ``spec``, resuming finished points from the cache.
+
+    Parameters
+    ----------
+    spec:
+        The design space to explore.
+    jobs:
+        Worker processes; points are dispatched chunk-wise through
+        :func:`repro.runner.executor.make_executor`, so ``jobs`` changes
+        wall-clock only (every point carries the sweep's master seed).
+    cache / cache_root:
+        Passed through to :func:`repro.runner.engine.run_experiment` for
+        every point.  ``cache=False`` disables resume (every point
+        recomputes).  For process-parallel runs pass ``cache_root`` (or use
+        the default root): each worker rebuilds its cache from the root.
+    registry:
+        Experiment registry override (defaults to the full catalogue).
+    executor:
+        Explicit execution strategy, overriding ``jobs``.
+    on_point:
+        Optional ``(point_index, wide_row)`` callback streamed as points
+        complete (completion order under a parallel executor).
+
+    Returns
+    -------
+    SweepRunResult
+        Wide rows in expansion order plus cache/compute accounting.
+    """
+    start = time.perf_counter()
+    points = expand_points(spec, cache=cache, cache_root=cache_root,
+                           registry=registry)
+    executor = executor if executor is not None else make_executor(jobs)
+    # Serial runs hand any cache object straight through; process workers
+    # rebuild theirs from plain-data settings — a cache *object* ships as
+    # ``(True, its root)`` so workers hit the same on-disk store instead of
+    # silently falling back to the default directory.
+    if isinstance(executor, SerialExecutor) or \
+            isinstance(cache, (bool, NullCache)) or cache is None:
+        cache_setting = cache
+    else:
+        cache_setting = True
+        root = getattr(cache, "root", None)
+        if root is not None and cache_root is None:
+            cache_root = str(root)
+    tasks = [(spec.experiment, point.params, spec.seed, cache_setting,
+              None if cache_root is None else str(cache_root), registry)
+             for point in points]
+
+    def stream(index: int, outcome: Dict[str, Any]) -> None:
+        if on_point is not None:
+            on_point(index, _wide_row(points[index], outcome))
+
+    outcomes = run_ordered(executor, _run_point, tasks, on_result=stream)
+
+    rows = [_wide_row(point, outcome)
+            for point, outcome in zip(points, outcomes)]
+    # Sorted, not first-seen: a cache-served payload comes back with
+    # JSON-sorted keys, and exports must be byte-identical either way.
+    metric_names = sorted({name for outcome in outcomes
+                           for name in outcome["metrics"]})
+    cached = sum(1 for outcome in outcomes if outcome["cache_hit"])
+    return SweepRunResult(spec=spec, points=points, rows=rows,
+                          computed_points=len(points) - cached,
+                          cached_points=cached,
+                          elapsed_s=time.perf_counter() - start,
+                          metric_names=metric_names)
+
+
+def _wide_row(point: SweepPoint, outcome: Dict[str, Any]) -> Dict[str, Any]:
+    row: Dict[str, Any] = {"point": point.index}
+    row.update(point.axis_values)
+    row.update(outcome["metrics"])
+    return row

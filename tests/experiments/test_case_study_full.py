@@ -59,6 +59,27 @@ class TestThroughEngine:
                                   cache=False, jobs=2, seed=7)
         assert parallel.rows == serial.rows
 
+    def test_superframe_order_param_duty_cycles_the_network(self, tmp_path):
+        """SO < BO adds an inactive portion: the radio sleeps through it,
+        so average power must drop noticeably vs the full-active run."""
+        full = run_experiment("case_study_full",
+                              params=dict(TINY, num_channels=1,
+                                          beacon_order=4, superframes=4),
+                              cache=False, seed=3)
+        duty = run_experiment("case_study_full",
+                              params=dict(TINY, num_channels=1,
+                                          beacon_order=4, superframes=4,
+                                          superframe_order=2),
+                              cache=False, seed=3)
+        assert duty.payload["aggregate"]["mean_power_uw"] < \
+            0.95 * full.payload["aggregate"]["mean_power_uw"]
+
+    def test_invalid_superframe_order_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("case_study_full",
+                           params=dict(TINY, superframe_order=9),
+                           cache=False, seed=3)
+
     def test_event_backend_param_accepted(self):
         run = run_experiment("case_study_full",
                              params=dict(TINY, backend="event",

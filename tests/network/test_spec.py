@@ -186,3 +186,56 @@ class TestAggregation:
         aggregate = aggregate_channel_rows(rows)
         assert aggregate["mean_delivery_delay_s"] is None
         assert aggregate["failure_probability"] == 1.0
+
+    def test_empty_row_list_aggregates_to_neutral_totals(self):
+        aggregate = aggregate_channel_rows([])
+        assert aggregate == {
+            "channels": 0, "nodes": 0, "packets_attempted": 0,
+            "packets_delivered": 0, "channel_access_failures": 0,
+            "collisions": 0, "failure_probability": 0.0,
+            "mean_power_uw": 0.0, "mean_delivery_delay_s": None,
+            "energy_by_phase_j": {},
+        }
+
+    def test_all_zero_delivery_network_multi_channel(self):
+        """A whole network that never delivers: every delay is None, the
+        power mean must still weight by nodes, and the failure probability
+        is exactly 1."""
+        rows = [
+            {"channel": 11, "nodes": 10, "packets_attempted": 30,
+             "packets_delivered": 0, "channel_access_failures": 25,
+             "collisions": 5, "failure_probability": 1.0,
+             "mean_power_uw": 120.0, "mean_delivery_delay_s": None,
+             "energy_by_phase_j": {"contention": 0.2}},
+            {"channel": 12, "nodes": 30, "packets_attempted": 90,
+             "packets_delivered": 0, "channel_access_failures": 90,
+             "collisions": 0, "failure_probability": 1.0,
+             "mean_power_uw": 200.0, "mean_delivery_delay_s": None,
+             "energy_by_phase_j": {"contention": 0.6}},
+        ]
+        aggregate = aggregate_channel_rows(rows)
+        assert aggregate["packets_attempted"] == 120
+        assert aggregate["packets_delivered"] == 0
+        assert aggregate["failure_probability"] == 1.0
+        assert aggregate["mean_delivery_delay_s"] is None
+        assert aggregate["mean_power_uw"] == pytest.approx(180.0)
+        assert aggregate["energy_by_phase_j"] == {
+            "contention": pytest.approx(0.8)}
+
+    def test_delivered_but_none_delay_rows_are_skipped(self):
+        """Defensive: a row claiming deliveries but carrying no delay (a
+        backend that cannot measure it) must not poison the mean."""
+        rows = [
+            {"channel": 11, "nodes": 5, "packets_attempted": 10,
+             "packets_delivered": 10, "channel_access_failures": 0,
+             "collisions": 0, "failure_probability": 0.0,
+             "mean_power_uw": 100.0, "mean_delivery_delay_s": None,
+             "energy_by_phase_j": {}},
+            {"channel": 12, "nodes": 5, "packets_attempted": 10,
+             "packets_delivered": 5, "channel_access_failures": 5,
+             "collisions": 0, "failure_probability": 0.5,
+             "mean_power_uw": 100.0, "mean_delivery_delay_s": 0.25,
+             "energy_by_phase_j": {}},
+        ]
+        aggregate = aggregate_channel_rows(rows)
+        assert aggregate["mean_delivery_delay_s"] == pytest.approx(0.25)

@@ -73,6 +73,63 @@ class TestRoundTrip:
         assert json.loads(path.read_text())["rows"][0]["value"] == 0.25
 
 
+class TestPruneStale:
+    def _store(self, cache, name, version):
+        artifact = {"experiment": name, "payload": {"rows": []}}
+        if version is not None:
+            artifact["code_version"] = version
+        cache.store(cache.key(name, {}, 0, version or "v"), artifact)
+
+    def test_prunes_only_other_versions(self, cache):
+        self._store(cache, "current-a", code_version())
+        self._store(cache, "current-b", code_version())
+        self._store(cache, "stale-a", "0123456789abcdef")
+        self._store(cache, "stale-b", "fedcba9876543210")
+        assert cache.prune_stale() == 2
+        assert len(cache) == 2
+        remaining = [cache.load(key) for key in cache.keys()]
+        assert {artifact["experiment"] for artifact in remaining} == \
+            {"current-a", "current-b"}
+
+    def test_unversioned_artifacts_count_as_stale(self, cache):
+        """Entries without a code_version field predate the stamping
+        convention, so they were written by an older tree by definition."""
+        self._store(cache, "legacy", None)
+        self._store(cache, "current", code_version())
+        assert cache.prune_stale() == 1
+        assert len(cache) == 1
+
+    def test_explicit_version_argument(self, cache):
+        self._store(cache, "a", "vvvv")
+        self._store(cache, "b", "wwww")
+        assert cache.prune_stale(version="vvvv") == 1
+        assert len(cache) == 1
+
+    def test_empty_cache_is_a_noop(self, cache):
+        assert cache.prune_stale() == 0
+
+    def test_corrupt_entries_are_swept_too(self, cache):
+        self._store(cache, "current", code_version())
+        key = cache.key("broken", {}, 0, "v")
+        path = cache.store(key, {"rows": []})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.prune_stale() == 1
+        assert len(cache) == 1
+
+    def test_foreign_json_under_the_root_is_never_touched(self, cache):
+        """Regression: keys()/clear()/prune_stale() must only see files
+        matching the content-addressed layout — a sweep export (or any
+        other JSON) placed under the cache root is not a cache entry."""
+        self._store(cache, "current", code_version())
+        foreign = cache.root / "exports" / "node_density.manifest.json"
+        foreign.parent.mkdir(parents=True)
+        foreign.write_text('{"spec_hash": "abc"}', encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.prune_stale() == 0
+        assert cache.clear() == 1
+        assert foreign.is_file()
+
+
 class TestNullCache:
     def test_never_hits(self):
         cache = NullCache()

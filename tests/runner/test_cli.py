@@ -31,6 +31,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig6_csma", "--param", "oops"])
 
+    @pytest.mark.parametrize("text,expected", [
+        ("flag=true", ("flag", True)),
+        ("flag=FALSE", ("flag", False)),
+        ("cap=none", ("cap", None)),
+        ("cap=NULL", ("cap", None)),
+        ("cap=None", ("cap", None)),          # literal_eval path
+        ("mode=fast", ("mode", "fast")),      # plain string stays a string
+        ("empty=", ("empty", "")),
+        ("expr=a=b", ("expr", "a=b")),        # only the first '=' splits
+        ("n=3", ("n", 3)),
+        ("xs=[1, 2]", ("xs", [1, 2])),
+    ])
+    def test_param_value_normalisation(self, text, expected):
+        from repro.runner.cli import _parse_param
+        assert _parse_param(text) == expected
+
+    def test_param_without_key_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig6_csma", "--param", "=3"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -68,6 +88,52 @@ class TestCommands:
                      "--param", "bogus=1"]) == 2
         assert "no parameter" in capsys.readouterr().err
 
+    def test_run_output_file_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.csv"
+        assert main(["run", "fig6_csma", "--no-cache", "--quiet", *TINY_ARGS,
+                     "--output-file", str(out_file)]) == 0
+        assert f"wrote 2 rows to {out_file}" in capsys.readouterr().out
+        lines = out_file.read_text().splitlines()
+        assert lines[0].startswith("payload_bytes,load,")
+        assert len(lines) == 3  # header + one row per load
+
+    def test_run_output_file_json_inferred_from_extension(self, tmp_path,
+                                                          capsys):
+        import json
+        out_file = tmp_path / "rows.json"
+        assert main(["run", "fig6_csma", "--no-cache", "--quiet", *TINY_ARGS,
+                     "--output-file", str(out_file)]) == 0
+        rows = json.loads(out_file.read_text())
+        assert len(rows) == 2
+        assert rows[0]["payload_bytes"] == 20
+
+    def test_run_output_columns_stable_across_cache_hits(self, tmp_path,
+                                                         capsys):
+        """Regression: cache-served rows come back JSON-key-sorted; the CSV
+        column order must not depend on whether the run was a hit."""
+        cold_file = tmp_path / "cold.csv"
+        warm_file = tmp_path / "warm.csv"
+        cache_args = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(["run", "fig6_csma", "--quiet", *TINY_ARGS, *cache_args,
+                     "--output-file", str(cold_file)]) == 0
+        assert main(["run", "fig6_csma", "--quiet", *TINY_ARGS, *cache_args,
+                     "--output-file", str(warm_file)]) == 0
+        assert "[cache]" in capsys.readouterr().out
+        assert cold_file.read_bytes() == warm_file.read_bytes()
+        # Declared output_names lead, in their documented order.
+        assert cold_file.read_text().splitlines()[0] == \
+            "payload_bytes,load,on_air_bytes,t_cont_s,n_cca,pr_col,pr_cf"
+
+    def test_run_output_stdout_is_pipeable(self, tmp_path, capsys):
+        """--output without a file: rows own stdout, summary moves to
+        stderr so `python -m repro run ... --output csv | ...` stays clean."""
+        assert main(["run", "fig6_csma", "--no-cache", *TINY_ARGS,
+                     "--output", "csv"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("payload_bytes,load,")
+        assert "fig6_csma: 2 rows" not in captured.out
+        assert "fig6_csma: 2 rows" in captured.err
+
     def test_cache_inspect_and_clear(self, tmp_path, capsys):
         assert main(["run", "fig6_csma", *TINY_ARGS,
                      "--cache-dir", str(tmp_path)]) == 0
@@ -76,6 +142,28 @@ class TestCommands:
         assert "artifacts:  1" in capsys.readouterr().out
         assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
         assert "removed 1 artifact(s)" in capsys.readouterr().out
+
+    def test_cache_prune_requires_criterion(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--keep-current" in capsys.readouterr().err
+
+    def test_cache_prune_keep_current(self, tmp_path, capsys):
+        from repro.runner.cache import ResultCache
+
+        assert main(["run", "fig6_csma", *TINY_ARGS,
+                     "--cache-dir", str(tmp_path)]) == 0
+        cache = ResultCache(root=tmp_path)
+        stale_key = cache.key("old", {}, 0, "0123456789abcdef")
+        cache.store(stale_key, {"experiment": "old",
+                                "code_version": "0123456789abcdef"})
+        capsys.readouterr()
+        assert main(["cache", "prune", "--keep-current",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "pruned 1 stale artifact(s)" in capsys.readouterr().out
+        # The current-version artifact survived; the replay still hits.
+        assert main(["run", "fig6_csma", *TINY_ARGS,
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "[cache]" in capsys.readouterr().out
 
 
 class TestModuleEntryPoint:

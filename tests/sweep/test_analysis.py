@@ -1,0 +1,146 @@
+"""Tests of the Pareto / grouping analysis layer, incl. dominance properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.analysis import (aggregate_rows, dominates, group_rows,
+                                  knee_point, pareto_front)
+
+OBJECTIVES = {"power": "min", "fail": "min"}
+
+
+def row(power, fail, **extra):
+    return {"power": power, "fail": fail, **extra}
+
+
+class TestDominates:
+    def test_strictly_better_dominates(self):
+        assert dominates(row(1.0, 0.1), row(2.0, 0.2), OBJECTIVES)
+
+    def test_equal_rows_do_not_dominate_each_other(self):
+        assert not dominates(row(1.0, 0.1), row(1.0, 0.1), OBJECTIVES)
+
+    def test_trade_off_rows_do_not_dominate(self):
+        assert not dominates(row(1.0, 0.5), row(2.0, 0.1), OBJECTIVES)
+        assert not dominates(row(2.0, 0.1), row(1.0, 0.5), OBJECTIVES)
+
+    def test_max_sense_flips_the_comparison(self):
+        objectives = {"throughput": "max"}
+        assert dominates({"throughput": 9}, {"throughput": 3}, objectives)
+        assert not dominates({"throughput": 3}, {"throughput": 9}, objectives)
+
+    def test_missing_value_is_worst(self):
+        assert dominates(row(1.0, 0.1), row(1.0, None), OBJECTIVES)
+        assert not dominates(row(1.0, None), row(1.0, 0.1), OBJECTIVES)
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            dominates(row(1, 1), row(2, 2), {})
+
+
+class TestParetoFront:
+    def test_known_front(self):
+        rows = [row(1.0, 0.5, tag="a"), row(2.0, 0.1, tag="b"),
+                row(3.0, 0.5, tag="c"), row(1.5, 0.3, tag="d")]
+        front = pareto_front(rows, OBJECTIVES)
+        assert [r["tag"] for r in front] == ["a", "b", "d"]
+
+    def test_duplicate_optima_all_kept(self):
+        rows = [row(1.0, 0.1), row(1.0, 0.1), row(2.0, 0.2)]
+        assert len(pareto_front(rows, OBJECTIVES)) == 2
+
+    def test_all_missing_rows_are_excluded(self):
+        rows = [row(None, None), row(1.0, 0.2)]
+        front = pareto_front(rows, OBJECTIVES)
+        assert front == [row(1.0, 0.2)]
+
+    def test_empty_input(self):
+        assert pareto_front([], OBJECTIVES) == []
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 1)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_front_is_dominance_correct(self, points):
+        """Property: no front member is dominated by any input row, and
+        every excluded (usable) row is dominated by some front member or
+        duplicates one."""
+        rows = [row(power, fail, index=i)
+                for i, (power, fail) in enumerate(points)]
+        front = pareto_front(rows, OBJECTIVES)
+        assert front, "a non-empty usable input always has a front"
+        front_indices = {r["index"] for r in front}
+        for member in front:
+            assert not any(dominates(other, member, OBJECTIVES)
+                           for other in rows)
+        for excluded in rows:
+            if excluded["index"] in front_indices:
+                continue
+            assert any(dominates(member, excluded, OBJECTIVES)
+                       for member in front)
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 1)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_front_is_idempotent(self, points):
+        rows = [row(power, fail) for power, fail in points]
+        front = pareto_front(rows, OBJECTIVES)
+        assert pareto_front(front, OBJECTIVES) == front
+
+
+class TestKneePoint:
+    def test_balanced_point_wins(self):
+        rows = [row(0.0, 1.0), row(0.4, 0.4), row(1.0, 0.0)]
+        assert knee_point(rows, OBJECTIVES) == row(0.4, 0.4)
+
+    def test_single_row_is_its_own_knee(self):
+        assert knee_point([row(5.0, 0.5)], OBJECTIVES) == row(5.0, 0.5)
+
+    def test_degenerate_objective_ignored(self):
+        rows = [row(1.0, 0.5), row(2.0, 0.5)]
+        assert knee_point(rows, OBJECTIVES) == row(1.0, 0.5)
+
+    def test_no_usable_rows_gives_none(self):
+        assert knee_point([], OBJECTIVES) is None
+        assert knee_point([row(None, None)], OBJECTIVES) is None
+
+    def test_knee_is_on_the_front(self):
+        rows = [row(float(p), 1.0 / (1.0 + p)) for p in range(10)]
+        front = pareto_front(rows, OBJECTIVES)
+        assert knee_point(front, OBJECTIVES) in front
+
+
+class TestGroupingAndAggregation:
+    ROWS = [{"bo": 3, "so": 3, "p": 1.0}, {"bo": 3, "so": 2, "p": 3.0},
+            {"bo": 6, "so": 6, "p": 5.0}, {"bo": 3, "so": 3, "p": 2.0}]
+
+    def test_group_rows(self):
+        groups = group_rows(self.ROWS, by=["bo"])
+        assert set(groups) == {(3,), (6,)}
+        assert len(groups[(3,)]) == 3
+
+    def test_group_rows_needs_keys(self):
+        with pytest.raises(ValueError):
+            group_rows(self.ROWS, by=[])
+
+    def test_aggregate_mean(self):
+        out = aggregate_rows(self.ROWS, by=["bo"], metrics=["p"])
+        assert out == [{"bo": 3, "p_mean": 2.0}, {"bo": 6, "p_mean": 5.0}]
+
+    def test_aggregate_multiple_statistics(self):
+        out = aggregate_rows(self.ROWS, by=["bo"], metrics=["p"],
+                             statistics=("min", "max", "count"))
+        assert out[0] == {"bo": 3, "p_min": 1.0, "p_max": 3.0, "p_count": 3}
+
+    def test_aggregate_skips_none_and_nan(self):
+        rows = [{"g": 1, "p": 2.0}, {"g": 1, "p": None},
+                {"g": 1, "p": math.nan}, {"g": 2, "p": None}]
+        out = aggregate_rows(rows, by=["g"], metrics=["p"])
+        assert out == [{"g": 1, "p_mean": 2.0}, {"g": 2, "p_mean": None}]
+
+    def test_unknown_statistic_rejected(self):
+        with pytest.raises(ValueError, match="Unknown statistics"):
+            aggregate_rows(self.ROWS, by=["bo"], metrics=["p"],
+                           statistics=("median",))

@@ -1,0 +1,66 @@
+"""Tests of the registered headline sweeps."""
+
+import pytest
+
+from repro.runner.registry import default_registry
+from repro.sweep.catalog import (TRADEOFF_OBJECTIVES, UnknownSweepError,
+                                 get_definition, get_sweep, iter_definitions,
+                                 sweep_names)
+from repro.sweep.driver import expand_points
+
+
+class TestCatalogue:
+    def test_headline_sweeps_registered(self):
+        assert sweep_names() == ("duty_cycle", "node_density", "tx_policy")
+
+    def test_definitions_iterate_in_name_order(self):
+        names = [definition.name for definition in iter_definitions()]
+        assert names == list(sweep_names())
+
+    def test_unknown_sweep_suggests(self):
+        with pytest.raises(UnknownSweepError, match="node_density"):
+            get_definition("node_densty")
+
+    @pytest.mark.parametrize("name", sweep_names())
+    def test_every_sweep_expands_against_the_registry(self, name, tmp_path):
+        """Both variants of every registered sweep must expand cleanly:
+        all axis and base parameters exist on the experiment, so a sweep
+        can never fail after the first point has been computed."""
+        for quick in (False, True):
+            spec = get_sweep(name, quick=quick)
+            assert spec.experiment in default_registry()
+            points = expand_points(spec, cache=False,
+                                   cache_root=tmp_path)
+            assert len(points) == spec.num_points()
+            assert len({point.cache_key for point in points}) == len(points)
+
+    @pytest.mark.parametrize("name", sweep_names())
+    def test_quick_variants_are_small_and_distinct(self, name):
+        full = get_sweep(name)
+        quick = get_sweep(name, quick=True)
+        assert quick.num_points() <= full.num_points()
+        assert quick.spec_hash() != full.spec_hash()
+        # Quick variants must stay tiny: a couple of channels, a handful
+        # of superframes, so CI smokes the pipeline in seconds.
+        assert quick.base_params.get("num_channels", 16) <= 2
+        assert quick.base_params.get("superframes", 50) <= 8
+
+    @pytest.mark.parametrize("name", sweep_names())
+    def test_all_share_the_paper_tradeoff_objectives(self, name):
+        spec = get_sweep(name)
+        assert dict(spec.objectives) == TRADEOFF_OBJECTIVES
+
+    def test_node_density_varies_population(self):
+        spec = get_sweep("node_density")
+        values = spec.axis_values()["total_nodes"]
+        assert 1600 in values and values == sorted(values)
+
+    def test_duty_cycle_covers_full_active_and_duty_cycled(self):
+        spec = get_sweep("duty_cycle")
+        assert set(spec.axis_values()["superframe_order"]) == {None, 3}
+        # SO=3 never exceeds any swept BO, so every point is valid.
+        assert min(spec.axis_values()["beacon_order"]) >= 3
+
+    def test_tx_policy_compares_adaptive_and_fixed(self):
+        spec = get_sweep("tx_policy")
+        assert set(spec.axis_values()["tx_policy"]) == {"adaptive", "fixed"}

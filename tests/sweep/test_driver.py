@@ -1,0 +1,189 @@
+"""Tests of the sweep driver: expansion, dispatch, cache-resume semantics."""
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ProcessExecutor
+from repro.sweep.analysis import pareto_front
+from repro.sweep.catalog import get_sweep
+from repro.sweep.driver import (expand_points, extract_point_metrics,
+                                run_sweep, sweep_status)
+from repro.sweep.spec import GridAxis, SweepSpec
+
+#: A tiny two-axis design space over the full-scale simulator — four points,
+#: each a couple of superframes on 8-16 nodes, so the whole sweep runs in
+#: well under a second.
+TINY = SweepSpec(
+    name="tiny", experiment="case_study_full",
+    axes={"total_nodes": GridAxis((8, 16)),
+          "payload_bytes": GridAxis((50, 120))},
+    base_params={"num_channels": 1, "superframes": 3},
+    objectives={"mean_power_uw": "min", "failure_probability": "min"})
+
+
+class TestExpandPoints:
+    def test_points_follow_grid_order_with_full_params(self, tmp_path):
+        points = expand_points(TINY, cache_root=tmp_path)
+        assert [point.index for point in points] == [0, 1, 2, 3]
+        assert points[0].axis_values == {"total_nodes": 8,
+                                         "payload_bytes": 50}
+        assert points[0].params["num_channels"] == 1
+        assert points[1].axis_values["payload_bytes"] == 120
+
+    def test_cache_keys_match_the_engine(self, tmp_path):
+        """A sweep point's key is exactly the key a standalone
+        ``run_experiment`` with the same parameters would use — that
+        equality is what makes sweeps resumable (and lets different sweeps
+        share points)."""
+        from repro.runner.engine import run_experiment
+
+        point = expand_points(TINY, cache_root=tmp_path)[0]
+        run = run_experiment(TINY.experiment, params=point.params,
+                             seed=TINY.seed, cache_root=tmp_path)
+        assert run.cache_key == point.cache_key
+
+    def test_unknown_axis_parameter_fails_before_running(self, tmp_path):
+        bad = SweepSpec(name="bad", experiment="case_study_full",
+                        axes={"warp_factor": GridAxis((1, 2))})
+        with pytest.raises(KeyError, match="warp_factor"):
+            expand_points(bad, cache_root=tmp_path)
+
+    def test_unknown_experiment_fails(self, tmp_path):
+        bad = SweepSpec(name="bad", experiment="fig0_nope",
+                        axes={"total_nodes": GridAxis((1,))})
+        with pytest.raises(KeyError):
+            expand_points(bad, cache_root=tmp_path)
+
+
+class TestRunSweep:
+    def test_rows_carry_axes_and_metrics(self, tmp_path):
+        result = run_sweep(TINY, cache_root=tmp_path)
+        assert len(result.rows) == 4
+        for point, row in zip(result.points, result.rows):
+            assert row["point"] == point.index
+            assert row["total_nodes"] == point.axis_values["total_nodes"]
+            assert row["packets_attempted"] > 0
+            assert 0.0 <= row["failure_probability"] <= 1.0
+        assert "mean_power_uw" in result.metric_names
+
+    def test_second_run_recomputes_nothing(self, tmp_path):
+        """Acceptance: a re-run of the same sweep is served entirely from
+        the cache — 0 recomputed points — with identical rows."""
+        first = run_sweep(TINY, cache_root=tmp_path)
+        second = run_sweep(TINY, cache_root=tmp_path)
+        assert first.computed_points == 4 and first.cached_points == 0
+        assert second.computed_points == 0 and second.cached_points == 4
+        assert second.rows == first.rows
+        assert second.metric_names == first.metric_names
+
+    def test_interrupted_sweep_resumes_from_partial_cache(self, tmp_path):
+        """Simulate an interruption by dropping two of the four artifacts:
+        the next run recomputes exactly the missing points."""
+        first = run_sweep(TINY, cache_root=tmp_path)
+        cache = ResultCache(root=tmp_path)
+        for point in first.points[:2]:
+            assert cache.invalidate(point.cache_key)
+        resumed = run_sweep(TINY, cache_root=tmp_path)
+        assert resumed.computed_points == 2
+        assert resumed.cached_points == 2
+        assert resumed.rows == first.rows
+
+    def test_no_cache_disables_resume(self, tmp_path):
+        run_sweep(TINY, cache_root=tmp_path)
+        again = run_sweep(TINY, cache=False, cache_root=tmp_path)
+        assert again.computed_points == 4
+
+    def test_parallel_and_serial_rows_identical(self, tmp_path):
+        serial = run_sweep(TINY, cache=False)
+        parallel = run_sweep(TINY, cache=False,
+                             executor=ProcessExecutor(jobs=2))
+        assert serial.rows == parallel.rows
+
+    def test_parallel_run_honours_a_cache_objects_root(self, tmp_path):
+        """Regression: a ResultCache *object* handed to a parallel run must
+        ship its root to the workers — not silently fall back to the
+        default cache directory."""
+        cache = ResultCache(root=tmp_path / "store")
+        first = run_sweep(TINY, cache=cache,
+                          executor=ProcessExecutor(jobs=2))
+        assert first.computed_points == 4
+        assert len(cache) == 4
+        resumed = run_sweep(TINY, cache=cache,
+                            executor=ProcessExecutor(jobs=2))
+        assert resumed.computed_points == 0
+
+    def test_on_point_streams_every_row(self, tmp_path):
+        seen = {}
+        run_sweep(TINY, cache_root=tmp_path,
+                  on_point=lambda index, row: seen.__setitem__(index, row))
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert seen[2]["total_nodes"] == 16
+
+    def test_long_rows_are_tidy(self, tmp_path):
+        result = run_sweep(TINY, cache_root=tmp_path)
+        long_rows = result.long_rows()
+        assert len(long_rows) == 4 * len(result.metric_names)
+        sample = long_rows[0]
+        assert set(sample) == {"point", "total_nodes", "payload_bytes",
+                               "metric", "value"}
+        metrics_of_point0 = {row["metric"] for row in long_rows
+                             if row["point"] == 0}
+        assert metrics_of_point0 == set(result.metric_names)
+
+    def test_to_table_renders(self, tmp_path):
+        result = run_sweep(TINY, cache_root=tmp_path)
+        table = result.to_table()
+        assert "total_nodes" in table
+        assert "mean_power_uw" in table
+
+
+class TestSweepStatus:
+    def test_status_tracks_cache_occupancy(self, tmp_path):
+        status = sweep_status(TINY, cache_root=tmp_path)
+        assert status.done_count == 0 and status.pending_count == 4
+        run_sweep(TINY, cache_root=tmp_path)
+        status = sweep_status(TINY, cache_root=tmp_path)
+        assert status.done_count == 4 and status.pending_count == 0
+
+    def test_status_runs_nothing(self, tmp_path):
+        sweep_status(TINY, cache_root=tmp_path)
+        assert len(ResultCache(root=tmp_path)) == 0
+
+
+class TestQuickNodeDensityAcceptance:
+    """The ISSUE's acceptance scenario, end to end."""
+
+    def test_cache_resume_and_pareto_front(self, tmp_path):
+        spec = get_sweep("node_density", quick=True)
+        first = run_sweep(spec, cache_root=tmp_path)
+        second = run_sweep(spec, cache_root=tmp_path)
+        assert first.computed_points == len(first.points)
+        assert second.computed_points == 0
+        assert second.rows == first.rows
+        front = pareto_front(second.rows, spec.objectives)
+        assert front, "the quick node-density sweep must have a front"
+        for member in front:
+            assert member["mean_power_uw"] > 0
+
+
+class TestExtractPointMetrics:
+    def test_aggregate_payloads_flatten_one_level(self):
+        payload = {"rows": [{"channel": 11}],
+                   "aggregate": {"nodes": 4, "mean_power_uw": 210.0,
+                                 "mean_delivery_delay_s": None,
+                                 "energy_by_phase_j": {"transmit": 0.5}}}
+        metrics = extract_point_metrics(payload)
+        assert metrics == {"nodes": 4, "mean_power_uw": 210.0,
+                           "mean_delivery_delay_s": None,
+                           "energy_by_phase_j.transmit": 0.5}
+
+    def test_scalar_payload_fields_and_row_count(self):
+        payload = {"rows": [{"x": 1}, {"x": 2}], "report": {"rows": []},
+                   "average_power_uw": 211.5}
+        metrics = extract_point_metrics(payload)
+        assert metrics == {"average_power_uw": 211.5, "num_rows": 2}
+
+    def test_single_row_payload_lifts_columns(self):
+        payload = {"rows": [{"x": 1.5, "label": "a", "nested": {"n": 1}}]}
+        metrics = extract_point_metrics(payload)
+        assert metrics == {"num_rows": 1, "x": 1.5, "label": "a"}

@@ -1,0 +1,154 @@
+"""Tests of the sweep axes and the declarative SweepSpec."""
+
+import pytest
+
+from repro.sweep.spec import (GridAxis, RandomAxis, RangeAxis, SweepSpec,
+                              axis_from_payload, spec_from_payload)
+
+
+class TestAxes:
+    def test_grid_axis_preserves_order_and_values(self):
+        axis = GridAxis((3, 1, 2))
+        assert axis.resolve() == [3, 1, 2]
+
+    def test_grid_axis_accepts_categoricals_and_none(self):
+        axis = GridAxis(("adaptive", "fixed", None))
+        assert axis.resolve() == ["adaptive", "fixed", None]
+
+    def test_grid_axis_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GridAxis(())
+
+    def test_range_axis_linear(self):
+        assert RangeAxis(start=0.0, stop=1.0, num=5).resolve() == \
+            [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_range_axis_int_rounding(self):
+        assert RangeAxis(start=400, stop=1600, num=4, dtype="int").resolve() \
+            == [400, 800, 1200, 1600]
+
+    def test_range_axis_int_rounding_deduplicates(self):
+        """Regression: a fine grid collapsing under int rounding must not
+        expand into duplicate design points."""
+        assert RangeAxis(start=1, stop=3, num=5, dtype="int").resolve() == \
+            [1, 2, 3]
+
+    def test_random_axis_int_rounding_deduplicates(self):
+        values = RandomAxis(low=1, high=3, count=32, dtype="int").resolve(0)
+        assert len(values) == len(set(values))
+
+    def test_range_axis_log_spacing(self):
+        values = RangeAxis(start=1.0, stop=100.0, num=3,
+                           spacing="log").resolve()
+        assert values == pytest.approx([1.0, 10.0, 100.0])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"start": 1.0, "stop": 2.0, "num": 0},
+        {"start": 1.0, "stop": 2.0, "num": 2, "spacing": "weird"},
+        {"start": 1.0, "stop": 2.0, "num": 2, "dtype": "complex"},
+        {"start": -1.0, "stop": 2.0, "num": 2, "spacing": "log"},
+    ])
+    def test_range_axis_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            RangeAxis(**kwargs)
+
+    def test_random_axis_is_deterministic_in_the_seed(self):
+        axis = RandomAxis(low=1.0, high=9.0, count=4)
+        assert axis.resolve(seed=11) == axis.resolve(seed=11)
+        assert axis.resolve(seed=11) != axis.resolve(seed=12)
+
+    def test_random_axis_respects_bounds_and_sorts(self):
+        values = RandomAxis(low=2.0, high=3.0, count=16).resolve(seed=0)
+        assert all(2.0 <= value <= 3.0 for value in values)
+        assert values == sorted(values)
+
+    def test_random_axis_int_dtype(self):
+        values = RandomAxis(low=10, high=20, count=8, dtype="int").resolve(3)
+        assert all(isinstance(value, int) for value in values)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"low": 1.0, "high": 2.0, "count": 0},
+        {"low": 2.0, "high": 1.0, "count": 2},
+        {"low": 0.0, "high": 1.0, "count": 2, "spacing": "log"},
+    ])
+    def test_random_axis_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomAxis(**kwargs)
+
+    def test_axis_payload_round_trip(self):
+        for axis in (GridAxis((1, "two", None)),
+                     RangeAxis(start=1.0, stop=4.0, num=3, dtype="int"),
+                     RandomAxis(low=0.5, high=2.0, count=5, spacing="log")):
+            assert axis_from_payload(axis.to_payload()) == axis
+
+    def test_unknown_axis_kind_rejected(self):
+        with pytest.raises(ValueError, match="Unknown axis kind"):
+            axis_from_payload({"kind": "sobol"})
+
+
+class TestSweepSpec:
+    def spec(self, **overrides):
+        kwargs = dict(name="demo", experiment="case_study_full",
+                      axes={"total_nodes": GridAxis((16, 32)),
+                            "beacon_order": GridAxis((3, 4, 5))},
+                      base_params={"superframes": 4})
+        kwargs.update(overrides)
+        return SweepSpec(**kwargs)
+
+    def test_expansion_is_the_cartesian_product_last_axis_fastest(self):
+        points = self.spec().expand_axes()
+        assert len(points) == 6
+        assert points[0] == {"total_nodes": 16, "beacon_order": 3}
+        assert points[1] == {"total_nodes": 16, "beacon_order": 4}
+        assert points[3] == {"total_nodes": 32, "beacon_order": 3}
+        assert self.spec().num_points() == 6
+
+    def test_needs_at_least_one_axis(self):
+        with pytest.raises(ValueError):
+            self.spec(axes={})
+
+    def test_axis_base_param_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both as axes"):
+            self.spec(base_params={"total_nodes": 100})
+
+    def test_bad_objective_sense_rejected(self):
+        with pytest.raises(ValueError, match="sense"):
+            self.spec(objectives={"mean_power_uw": "minimise"})
+
+    def test_random_axis_expansion_is_reproducible(self):
+        def build():
+            return self.spec(axes={"total_nodes": RandomAxis(
+                low=10, high=100, count=3, dtype="int")}, seed=99)
+        assert build().expand_axes() == build().expand_axes()
+
+    def test_random_axis_depends_on_master_seed(self):
+        values_a = self.spec(
+            axes={"total_nodes": RandomAxis(low=10, high=100, count=3)},
+            seed=1).expand_axes()
+        values_b = self.spec(
+            axes={"total_nodes": RandomAxis(low=10, high=100, count=3)},
+            seed=2).expand_axes()
+        assert values_a != values_b
+
+    def test_payload_round_trip_preserves_identity(self):
+        spec = self.spec(objectives={"mean_power_uw": "min"}, seed=7,
+                         title="round trip")
+        rebuilt = spec_from_payload(spec.to_payload())
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_spec_hash_is_stable_across_processes(self):
+        """The hash must not depend on dict iteration or code version —
+        only on the spec's own content."""
+        spec = self.spec()
+        clone = self.spec()
+        assert spec.spec_hash() == clone.spec_hash()
+        assert len(spec.spec_hash()) == 16
+
+    def test_spec_hash_changes_with_content(self):
+        base = self.spec()
+        assert base.spec_hash() != self.spec(seed=1234).spec_hash()
+        assert base.spec_hash() != \
+            self.spec(base_params={"superframes": 5}).spec_hash()
+        assert base.spec_hash() != self.spec(
+            axes={"total_nodes": GridAxis((16, 64))}).spec_hash()

@@ -54,6 +54,13 @@ PUBLIC_SURFACE = {
                      "default_registry", "SerialExecutor", "ProcessExecutor",
                      "make_executor", "run_ordered", "ResultCache",
                      "NullCache", "code_version", "DEFAULT_SEED"],
+    "repro.sweep": ["SweepSpec", "GridAxis", "RangeAxis", "RandomAxis",
+                    "run_sweep", "sweep_status", "expand_points",
+                    "SweepRunResult", "SweepPoint", "SweepStatus",
+                    "pareto_front", "knee_point", "dominates", "group_rows",
+                    "aggregate_rows", "export_sweep", "sweep_manifest",
+                    "write_rows", "get_sweep", "sweep_names",
+                    "UnknownSweepError", "spec_from_payload"],
 }
 
 
