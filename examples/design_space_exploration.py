@@ -4,14 +4,15 @@
 The paper's contribution is a *design-space analysis* — energy per delivered
 packet traded against reliability and latency across node density, duty
 cycle and transmit-power policy.  This walkthrough does that analysis end to
-end with the sweep subsystem (``repro.sweep``):
+end through the stable library façade (``repro.api``):
 
-1. run the registered node-density sweep (every point is one engine run of
-   ``case_study_full``, cached individually — re-running this script
-   recomputes nothing);
+1. run the registered node-density sweep through a configured ``Session``
+   (every point is one engine run of ``case_study_full``, cached
+   individually — re-running this script recomputes nothing);
 2. extract the Pareto front over (mean power, failure probability, mean
    delay) and the knee point of the trade-off;
-3. build a custom BO/SO duty-cycle sweep from scratch with explicit axes;
+3. build a custom BO/SO duty-cycle sweep from scratch with explicit axes —
+   validated against the experiment's typed schema the moment it is built;
 4. export CSV/JSON artifacts plus the reproducibility manifest.
 
 Equivalent CLI::
@@ -29,8 +30,8 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.sweep import (GridAxis, SweepSpec, export_sweep, get_sweep,
-                         knee_point, pareto_front, run_sweep, sweep_status)
+import repro.api as api
+from repro.sweep import export_sweep, knee_point, pareto_front
 
 #: The examples run the quick variants so the walkthrough finishes in
 #: seconds; drop ``quick=True`` for the paper-scale design spaces.
@@ -38,14 +39,14 @@ QUICK = True
 
 
 def main() -> None:
-    jobs = min(4, os.cpu_count() or 1)
+    session = api.Session(jobs=min(4, os.cpu_count() or 1))
 
     # ---- 1. a registered sweep, resumable point by point ---------------------
-    spec = get_sweep("node_density", quick=QUICK)
-    status = sweep_status(spec)
+    status = session.sweep_status("node_density", quick=QUICK)
+    spec = status.spec
     print(f"sweep {spec.name}: {spec.num_points()} points, "
           f"{status.done_count} already cached")
-    result = run_sweep(spec, jobs=jobs)
+    result = session.sweep("node_density", quick=QUICK)
     print(result.to_table())
     print(f"({result.computed_points} computed, {result.cached_points} "
           f"served from cache — run the script again and watch this hit 0)")
@@ -65,13 +66,16 @@ def main() -> None:
     print()
 
     # ---- 3. a custom design space is one SweepSpec away ----------------------
-    duty = SweepSpec(
+    # The spec validates against case_study_full's typed schema *here*: a
+    # typo'd axis name or an out-of-range beacon order raises on this line,
+    # before any simulation starts.
+    duty = api.SweepSpec(
         name="custom_duty_cycle", experiment="case_study_full",
-        axes={"beacon_order": GridAxis((3, 4, 5)),
-              "superframe_order": GridAxis((None, 3))},
+        axes={"beacon_order": api.GridAxis((3, 4, 5)),
+              "superframe_order": api.GridAxis((None, 3))},
         base_params={"total_nodes": 32, "num_channels": 2, "superframes": 6},
         objectives={"mean_power_uw": "min", "failure_probability": "min"})
-    duty_result = run_sweep(duty, jobs=jobs)
+    duty_result = session.sweep(duty)
     print(duty_result.to_table(
         title="Custom BO/SO sweep (SO=None means SO=BO, no inactive portion)"))
     print()

@@ -14,7 +14,8 @@ Run with::
 
     python examples/quickstart.py
 
-Every paper figure is also one command away through the experiment engine
+Every paper figure is also one `Session.run` away through the stable
+library façade (`repro.api`), or one command away on the CLI
 (`python -m repro list` prints the catalogue)::
 
     python -m repro run fig6_csma --jobs 2
@@ -23,9 +24,9 @@ Every paper figure is also one command away through the experiment engine
 
 from __future__ import annotations
 
+import repro.api as api
 from repro.analysis.tables import format_table
 from repro.experiments.common import default_model
-from repro.runner import run_experiment
 
 
 def main() -> None:
@@ -77,13 +78,21 @@ def main() -> None:
     ))
     print()
 
-    # ---- 4. the experiment engine ---------------------------------------------------
-    # The same registry the CLI uses is available programmatically; a second
-    # call with the same parameters and seed is served from the result cache.
-    run = run_experiment("fig3_radio")
-    print(f"Engine check — {run.spec.title}: {len(run.rows)} comparisons, "
-          f"{'cache hit' if run.cache_hit else 'computed'} "
-          f"in {run.elapsed_s:.3f} s")
+    # ---- 4. the stable library façade -----------------------------------------------
+    # repro.api.Session is the documented entry point: the same registry and
+    # result cache the CLI uses, with typed parameter validation.  A second
+    # call with the same parameters and seed is served from the cache.
+    session = api.Session()
+    result = session.run("fig3_radio")
+    print(f"Engine check — {result.spec.title}: {len(result.rows)} "
+          f"comparisons, "
+          f"{'cache hit' if result.cache_hit else 'computed'} "
+          f"in {result.elapsed_s:.3f} s")
+    # RunResult carries typed accessors and provenance:
+    print(f"  within tolerance: "
+          f"{sum(bool(v) for v in result.column('within_tolerance'))}"
+          f"/{len(result.rows)}  (key {result.cache_key[:12]}, "
+          f"code {result.code_version})")
 
 
 if __name__ == "__main__":

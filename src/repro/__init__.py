@@ -24,7 +24,10 @@ The library is organised bottom-up:
 * :mod:`repro.sweep` — design-space exploration over registered
   experiments: declarative axes, cache-resuming sweep driver, Pareto
   analysis and byte-reproducible artifact exports
-  (``python -m repro sweep``).
+  (``python -m repro sweep``);
+* :mod:`repro.api` — the stable library façade: a configured
+  :class:`~repro.api.Session` exposing ``run``/``sweep``/``experiments``
+  and the session cache — the documented entry point for library users.
 
 Quick start
 -----------
@@ -35,7 +38,13 @@ Quick start
 >>> round(result.average_power_w * 1e6)        # ~211 uW in the paper
 217
 
-or, through the experiment engine (cached and parallelisable)::
+through the stable façade (typed parameters, cached results)::
+
+    import repro.api as api
+    session = api.Session()
+    result = session.run("case_study")         # -> RunResult
+
+or through the command line::
 
     $ python -m repro run case_study
 """

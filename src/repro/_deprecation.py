@@ -1,0 +1,49 @@
+"""Deprecation shims: warn exactly once per call site.
+
+The standard :mod:`warnings` machinery de-duplicates per registry, which
+pytest and embedding applications routinely reset — a shim on a hot path
+would then spam one warning per call.  :func:`warn_deprecated` keeps its own
+registry keyed by the *call site* (caller's file and line), so migrating
+code sees each offending line flagged once and exactly once per process,
+independent of the active warning filters.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from typing import Set, Tuple
+
+_WARNED_CALL_SITES: Set[Tuple[str, str, int]] = set()
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 2) -> None:
+    """Emit ``DeprecationWarning(message)`` once per caller call site.
+
+    ``stacklevel`` counts exactly like :func:`warnings.warn`: ``2`` points
+    at the caller of the function invoking this helper's caller — shims
+    should forward a level that lands on *user* code.  The call site is
+    registered before warning, so a filter turning the warning into an
+    error (``-W error::DeprecationWarning``) still marks it as seen.
+    """
+    frame = inspect.currentframe()
+    try:
+        for _ in range(stacklevel):
+            if frame is None or frame.f_back is None:
+                break
+            frame = frame.f_back
+        if frame is None:
+            site = (message, "<unknown>", 0)
+        else:
+            site = (message, frame.f_code.co_filename, frame.f_lineno)
+    finally:
+        del frame
+    if site in _WARNED_CALL_SITES:
+        return
+    _WARNED_CALL_SITES.add(site)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget every recorded call site (test isolation helper)."""
+    _WARNED_CALL_SITES.clear()

@@ -1,0 +1,204 @@
+"""Stable library façade of the reproduction — the documented entry point.
+
+``repro.api`` is the one import a library user needs.  A :class:`Session`
+bundles the run-time policy every call shares — cache directory, worker
+count, master seed, experiment registry — so application code configures it
+once and then talks to the engine and the sweep subsystem through three
+methods:
+
+>>> import repro.api as api
+>>> session = api.Session(cache_dir="/tmp/doctest-repro-api")
+>>> [spec.name for spec in session.experiments()][:2]
+['case_study', 'case_study_full']
+
+``session.run(name, **params)`` executes (or replays from the cache) one
+registered experiment and returns a typed
+:class:`~repro.runner.result.RunResult`; ``session.sweep(spec_or_name)``
+runs a design-space exploration; ``session.cache`` exposes the underlying
+result cache for inspection and maintenance.
+
+Everything here is a thin veneer: the same registry, engine and cache the
+``python -m repro`` CLI uses, with the same typed parameter validation
+(unknown names fail with did-you-mean suggestions, values are coerced to
+their declared types) and the same content-addressed cache keys — a
+``session.run`` and the equivalent CLI invocation share artifacts.
+
+Layering: ``repro.api`` sits *on top of* :mod:`repro.runner` and
+:mod:`repro.sweep`; neither imports it back (asserted in CI).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Union
+
+from repro.runner.cache import code_version
+from repro.runner.engine import DEFAULT_SEED, resolve_cache, run_experiment
+from repro.runner.params import (ParamSchema, ParamSpec, ParameterValueError,
+                                 UnknownParameterError)
+from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
+                                   UnknownExperimentError, default_registry)
+from repro.runner.result import RunResult
+from repro.sweep.catalog import get_sweep
+from repro.sweep.driver import SweepRunResult, run_sweep, sweep_status
+from repro.sweep.spec import GridAxis, RandomAxis, RangeAxis, SweepSpec
+
+__all__ = [
+    "Session",
+    "RunResult",
+    "SweepRunResult",
+    "SweepSpec",
+    "GridAxis",
+    "RangeAxis",
+    "RandomAxis",
+    "ParamSpec",
+    "ParamSchema",
+    "ParameterValueError",
+    "UnknownParameterError",
+    "UnknownExperimentError",
+    "DEFAULT_SEED",
+    "code_version",
+]
+
+_UNSET = object()
+
+
+class Session:
+    """One configured connection to the experiment engine.
+
+    Parameters
+    ----------
+    cache_dir:
+        Result-cache directory.  ``None`` uses the default resolution
+        (``REPRO_CACHE_DIR`` environment variable, then
+        ``~/.cache/repro-bougard``).
+    cache:
+        ``True`` (on-disk cache at ``cache_dir``), ``False`` (no caching),
+        or a ready cache object.
+    jobs:
+        Default worker-process count of every run and sweep (``1`` =
+        serial; rows are identical either way).
+    seed:
+        Default master seed — the session's *seed policy*.  Every
+        :meth:`run` uses it unless overridden per call; ``None`` makes runs
+        intentionally non-reproducible (and uncached).
+    registry:
+        Experiment registry to resolve names in; defaults to the full
+        catalogue.
+
+    Examples
+    --------
+    >>> session = Session(cache_dir="/tmp/doctest-repro-api", jobs=1)
+    >>> result = session.run("fig3_radio")
+    >>> result.experiment
+    'fig3_radio'
+    """
+
+    def __init__(self, *,
+                 cache_dir: Optional[Union[str, os.PathLike]] = None,
+                 cache: Any = True,
+                 jobs: int = 1,
+                 seed: Optional[int] = DEFAULT_SEED,
+                 registry: Optional[ExperimentRegistry] = None):
+        self._cache_root = None if cache_dir is None else str(cache_dir)
+        self._cache = resolve_cache(cache, self._cache_root)
+        self._jobs = max(1, jobs)
+        self._seed = seed
+        self._registry = registry or default_registry()
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def cache(self):
+        """The session's result cache (:class:`ResultCache` or
+        :class:`NullCache`)."""
+        return self._cache
+
+    @property
+    def jobs(self) -> int:
+        """Default worker count of this session."""
+        return self._jobs
+
+    @property
+    def seed(self) -> Optional[int]:
+        """Default master seed of this session."""
+        return self._seed
+
+    @property
+    def registry(self) -> ExperimentRegistry:
+        """The experiment registry this session resolves names in."""
+        return self._registry
+
+    def experiments(self) -> List[ExperimentSpec]:
+        """Every registered experiment, sorted by name.
+
+        Each spec carries its typed parameter schema (``spec.schema``),
+        output columns and runtime estimate — everything
+        ``python -m repro list --verbose`` prints.
+        """
+        return list(self._registry)
+
+    def experiment(self, name: str) -> ExperimentSpec:
+        """One registered experiment by name (with did-you-mean on a miss)."""
+        return self._registry.get(name)
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, name: str, *, jobs: Optional[int] = None,
+            seed: Any = _UNSET, **params: Any) -> RunResult:
+        """Run one registered experiment and return its :class:`RunResult`.
+
+        Parameters are keyword arguments validated against the experiment's
+        typed schema — ``session.run("fig6_csma", num_windows=4)`` — and
+        coerced to canonical values, so equivalent spellings share one
+        cache entry.  ``jobs`` and ``seed`` default to the session's
+        policy.
+
+        Raises
+        ------
+        UnknownExperimentError
+            Unknown experiment name (with suggestions).
+        UnknownParameterError
+            Unknown parameter name (with suggestions).
+        ParameterValueError
+            A value outside its parameter's domain.
+        """
+        return run_experiment(
+            name, params=params,
+            jobs=self._jobs if jobs is None else jobs,
+            seed=self._seed if seed is _UNSET else seed,
+            cache=self._cache, registry=self._registry)
+
+    def sweep(self, spec: Union[SweepSpec, str], *, quick: bool = False,
+              jobs: Optional[int] = None) -> SweepRunResult:
+        """Run a design-space sweep (a :class:`SweepSpec` or catalogue name).
+
+        A string resolves through the sweep catalogue (``quick=True``
+        selects the scaled-down CI variant).  Finished points are served
+        from the session cache, so repeating a sweep recomputes nothing.
+        """
+        spec = self._resolve_sweep(spec, quick)
+        return run_sweep(spec, jobs=self._jobs if jobs is None else jobs,
+                         cache=self._cache, cache_root=self._cache_root,
+                         registry=spec.registry or self._registry)
+
+    def sweep_status(self, spec: Union[SweepSpec, str], *,
+                     quick: bool = False):
+        """Cache occupancy of a sweep without running anything."""
+        spec = self._resolve_sweep(spec, quick)
+        return sweep_status(spec, cache=self._cache,
+                            cache_root=self._cache_root,
+                            registry=spec.registry or self._registry)
+
+    @staticmethod
+    def _resolve_sweep(spec: Union[SweepSpec, str], quick: bool) -> SweepSpec:
+        if isinstance(spec, str):
+            return get_sweep(spec, quick=quick)
+        if quick:
+            raise ValueError("quick=True only applies to catalogue names; "
+                             "build the quick variant of an explicit "
+                             "SweepSpec yourself")
+        return spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        root = getattr(self._cache, "root", None)
+        return (f"Session(cache={str(root) if root else 'off'}, "
+                f"jobs={self._jobs}, seed={self._seed})")

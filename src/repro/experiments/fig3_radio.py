@@ -34,6 +34,9 @@ PAPER_SHUTDOWN_IDLE_ENERGY_J = 691e-12
 PAPER_IDLE_ACTIVE_TIME_S = 194e-6
 PAPER_IDLE_ACTIVE_ENERGY_J = 6.63e-6
 PAPER_POWER_GOAL_W = 100e-6
+#: The paper's literal observation: idle power is ~7x the 100 uW
+#: energy-scavenging budget.
+PAPER_IDLE_GOAL_RATIO = 7.0
 
 
 @dataclass
@@ -47,8 +50,14 @@ class Fig3Result:
 
 
 def run_fig3_radio_characterization(
-        profile: RadioPowerProfile = CC2420_PROFILE) -> Fig3Result:
-    """Regenerate the Figure 3 tables and compare against the paper."""
+        profile: RadioPowerProfile = CC2420_PROFILE,
+        power_goal_w: float = PAPER_POWER_GOAL_W) -> Fig3Result:
+    """Regenerate the Figure 3 tables and compare against the paper.
+
+    ``power_goal_w`` sets the energy-scavenging budget the idle power is
+    compared against; the paper's observation uses 100 µW, and the expected
+    ratio scales with the configured goal (712 µW idle / goal).
+    """
     report = ExperimentReport(
         experiment_id="EXP-F3",
         title="CC2420 steady-state and transient characterisation (Figure 3)",
@@ -62,10 +71,15 @@ def run_fig3_radio_characterization(
             measured_value=profile.power_w(state),
             tolerance=0.01,
         )
+    # The paper value anchors on the *stated* 7.0 ratio (at the paper's
+    # 100 uW goal), rescaled when the goal is overridden — it must never be
+    # derived from the same expression as the measurement, or the
+    # comparison would be vacuously within tolerance.
     report.add(
-        quantity="idle power / 100 uW scavenging goal",
-        paper_value=7.0,
-        measured_value=profile.power_w(RadioState.IDLE) / PAPER_POWER_GOAL_W,
+        quantity=f"idle power / {power_goal_w * 1e6:g} uW scavenging goal",
+        paper_value=PAPER_IDLE_GOAL_RATIO * (PAPER_POWER_GOAL_W
+                                             / power_goal_w),
+        measured_value=profile.power_w(RadioState.IDLE) / power_goal_w,
         tolerance=0.05,
         note="the paper notes idle alone is ~7x the energy-scavenging budget",
     )

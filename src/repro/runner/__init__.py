@@ -3,8 +3,15 @@
 This package turns the per-figure drivers of :mod:`repro.experiments` into
 one orchestrated system:
 
+* :mod:`repro.runner.params` — typed parameter schemas
+  (:class:`ParamSpec`/:class:`ParamSchema`): validation, coercion to
+  canonical values and did-you-mean errors shared by every entry point;
 * :mod:`repro.runner.registry` — declarative catalogue of every experiment
-  (name, parameters, outputs, runtime estimate) with helpful lookup errors;
+  (name, typed schema, outputs, runtime estimate) with helpful lookup
+  errors;
+* :mod:`repro.runner.result` — :class:`RunResult`, the first-class result
+  object every engine run returns (rows, metric accessors, provenance,
+  deterministic ``to_table``/``to_json``/``to_csv``);
 * :mod:`repro.runner.executor` — serial and process-pool execution
   strategies sharing one streaming ``(index, result)`` interface;
 * :mod:`repro.runner.cache` — content-addressed on-disk JSON cache keyed by
@@ -21,27 +28,47 @@ wall-clock, never the rows.
 """
 
 from repro.runner.cache import NullCache, ResultCache, code_version
-from repro.runner.engine import DEFAULT_SEED, ExperimentRun, run_experiment
+from repro.runner.engine import DEFAULT_SEED, run_experiment
 from repro.runner.executor import (ProcessExecutor, SerialExecutor,
                                    make_executor, run_ordered)
+from repro.runner.params import (ParamSchema, ParamSpec, ParameterValueError,
+                                 UnknownParameterError, parse_param)
 from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
                                    RunContext, UnknownExperimentError,
                                    default_registry)
+from repro.runner.result import RunResult
 
 __all__ = [
     "DEFAULT_SEED",
     "ExperimentRegistry",
-    "ExperimentRun",
+    # "ExperimentRun" resolves too (deprecated alias of RunResult via the
+    # module __getattr__ below) but is deliberately not in __all__.
     "ExperimentSpec",
     "NullCache",
+    "ParamSchema",
+    "ParamSpec",
+    "ParameterValueError",
     "ProcessExecutor",
     "ResultCache",
     "RunContext",
+    "RunResult",
     "SerialExecutor",
     "UnknownExperimentError",
+    "UnknownParameterError",
     "code_version",
     "default_registry",
     "make_executor",
+    "parse_param",
     "run_experiment",
     "run_ordered",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecation shim mirroring repro.runner.engine.__getattr__.
+    if name == "ExperimentRun":
+        from repro._deprecation import warn_deprecated
+        warn_deprecated("repro.runner.ExperimentRun is deprecated; use "
+                        "repro.runner.RunResult", stacklevel=2)
+        return RunResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,44 +21,19 @@ command tree lives in :mod:`repro.sweep.cli`.
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
+from repro.analysis.io import write_rows
 from repro.analysis.tables import format_table
 from repro.runner.cache import ResultCache, code_version
 from repro.runner.engine import DEFAULT_SEED, run_experiment
+# The --param reader (literal evaluation, the bare true/false/none/null
+# normalisation table, first-=-splits) is shared with the sweep CLI; the
+# local name keeps the historical import path working.
+from repro.runner.params import parse_param
+from repro.runner.params import parse_param_arg as _parse_param
 from repro.runner.registry import UnknownExperimentError, default_registry
-
-#: Bare-word spellings normalised to Python literals by ``--param`` — the
-#: shell-friendly lowercase forms users type (``ast.literal_eval`` already
-#: handles the canonical ``True``/``False``/``None``).
-_PARAM_LITERALS: Dict[str, Any] = {"true": True, "false": False,
-                                   "none": None, "null": None}
-
-
-def _parse_param(text: str) -> "tuple[str, Any]":
-    """Parse one ``--param key=value`` override.
-
-    The value is evaluated as a Python literal when possible; the common
-    bare words ``true``/``false``/``none``/``null`` (any case) normalise to
-    the corresponding literal, and anything else stays a plain string.
-    Only the *first* ``=`` splits key from value, so ``key=a=b`` assigns
-    the string ``"a=b"``.
-    """
-    key, separator, raw = text.partition("=")
-    if not separator or not key:
-        raise argparse.ArgumentTypeError(
-            f"--param expects key=value, got {text!r}")
-    try:
-        value = ast.literal_eval(raw)
-    except (ValueError, SyntaxError):
-        lowered = raw.strip().lower()
-        if lowered in _PARAM_LITERALS:
-            value = _PARAM_LITERALS[lowered]
-        else:
-            value = raw  # plain string value
-    return key, value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,21 +111,16 @@ def _command_list(arguments: argparse.Namespace) -> int:
         for spec in registry:
             print(f"\n{spec.name}:")
             print(f"  outputs: {', '.join(spec.output_names) or '-'}")
-            if spec.default_params:
-                for key, value in spec.default_params.items():
-                    print(f"  --param {key}={value!r}")
+            if spec.schema:
+                for param in spec.schema:
+                    line = (f"  --param {param.name}={param.default!r}  "
+                            f"[{param.domain()}]")
+                    if param.doc:
+                        line += f"  {param.doc}"
+                    print(line)
             else:
                 print("  (no tunable parameters)")
     return 0
-
-
-def _print_rows(rows: List[Dict[str, Any]], title: str) -> None:
-    if not rows:
-        print("(no rows)")
-        return
-    headers = list(rows[0])
-    table_rows = [[row.get(header, "") for header in headers] for row in rows]
-    print(format_table(headers, table_rows, title=title))
 
 
 def _command_run(arguments: argparse.Namespace) -> int:
@@ -176,45 +146,27 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
     emit_stdout_rows = arguments.output and not arguments.output_file
     if not arguments.quiet and not emit_stdout_rows:
-        _print_rows(run.rows, title=f"{run.spec.name} ({run.spec.figure})")
-        report = run.payload.get("report")
-        if report:
+        print(run.to_table())
+        if run.report:
             print()
-            _print_report(report)
+            _print_report(run.report)
     summary = (f"{run.spec.name}: {len(run.rows)} rows in "
                f"{run.elapsed_s:.3f}s "
                f"[{'cache' if run.cache_hit else f'computed with {run.jobs} job(s)'}] "
                f"seed={run.seed} key={run.cache_key[:12]}")
     if emit_stdout_rows:
         # Rows own stdout (pipeable CSV/JSON); the summary moves to stderr.
-        from repro.sweep.artifacts import rows_to_csv_text, rows_to_json_text
-        text = (rows_to_json_text(run.rows) if arguments.output == "json"
-                else rows_to_csv_text(run.rows, columns=_csv_columns(run)))
+        text = (run.to_json() if arguments.output == "json"
+                else run.to_csv())
         sys.stdout.write(text)
         print(summary, file=sys.stderr)
         return 0
     if arguments.output_file:
-        from repro.sweep.artifacts import write_rows
         path = write_rows(run.rows, arguments.output_file,
-                          fmt=arguments.output, columns=_csv_columns(run))
+                          fmt=arguments.output, columns=run.csv_columns())
         print(f"wrote {len(run.rows)} rows to {path}")
     print(summary)
     return 0
-
-
-def _csv_columns(run) -> List[str]:
-    """Deterministic CSV column order for the ``run`` exporter.
-
-    A cache-served payload comes back with JSON-sorted row keys while a
-    fresh run keeps driver insertion order — exports must not depend on
-    which one happened.  The spec's declared ``output_names`` (in their
-    documented order) come first, any extra row keys follow sorted.
-    """
-    from repro.sweep.artifacts import ordered_columns
-    present = ordered_columns(run.rows)
-    declared = [name for name in run.spec.output_names if name in present]
-    return declared + sorted(name for name in present
-                             if name not in declared)
 
 
 def _print_report(report: Dict[str, Any]) -> None:

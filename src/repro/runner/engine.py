@@ -19,13 +19,13 @@ spawned from the master seed (see :func:`repro.sim.random.spawn_seeds`).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.runner.cache import NullCache, ResultCache, code_version
 from repro.runner.executor import make_executor
-from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
-                                   RunContext, default_registry)
+from repro.runner.registry import (ExperimentRegistry, RunContext,
+                                   default_registry)
+from repro.runner.result import RunResult
 
 from repro.contention.tables import PAPER_SEED
 
@@ -34,41 +34,16 @@ from repro.contention.tables import PAPER_SEED
 DEFAULT_SEED = PAPER_SEED
 
 
-@dataclass
-class ExperimentRun:
-    """Outcome of one :func:`run_experiment` call.
-
-    Attributes
-    ----------
-    spec:
-        The resolved registry entry.
-    params:
-        The fully resolved parameters the run used.
-    seed / jobs:
-        Master seed and worker count of the run.
-    cache_hit:
-        Whether the payload was served from the result cache.
-    cache_key:
-        Content hash identifying the artifact.
-    elapsed_s:
-        Wall-clock of this call (near zero on a hit).
-    payload:
-        The JSON-serialisable result; ``payload["rows"]`` is the row list.
-    """
-
-    spec: ExperimentSpec
-    params: Dict[str, Any]
-    seed: Optional[int]
-    jobs: int
-    cache_hit: bool
-    cache_key: str
-    elapsed_s: float
-    payload: Dict[str, Any]
-
-    @property
-    def rows(self) -> List[Dict[str, Any]]:
-        """The result rows of the experiment."""
-        return self.payload["rows"]
+def __getattr__(name: str):
+    # Deprecation shim: the engine's result class is RunResult since the
+    # repro.api redesign; the old name keeps resolving (to the same class)
+    # with a once-per-call-site DeprecationWarning.
+    if name == "ExperimentRun":
+        from repro._deprecation import warn_deprecated
+        warn_deprecated("repro.runner.engine.ExperimentRun is deprecated; "
+                        "use repro.runner.RunResult", stacklevel=2)
+        return RunResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_cache(cache: Any = True,
@@ -93,7 +68,7 @@ def run_experiment(name: str,
                    cache: Any = True,
                    cache_root: Optional[str] = None,
                    registry: Optional[ExperimentRegistry] = None
-                   ) -> ExperimentRun:
+                   ) -> RunResult:
     """Run one registered experiment, consulting the result cache.
 
     Parameters
@@ -101,8 +76,12 @@ def run_experiment(name: str,
     name:
         Registry name (``python -m repro list`` prints them all).
     params:
-        Overrides merged into the spec's ``default_params``; unknown keys
-        raise ``KeyError``.
+        Overrides merged into the spec's schema defaults and coerced to
+        their declared types (``"4"`` resolves — and caches — like ``4``).
+        Unknown keys raise
+        :class:`~repro.runner.params.UnknownParameterError` (a
+        ``KeyError``) with close-match suggestions; out-of-domain values
+        raise :class:`~repro.runner.params.ParameterValueError`.
     jobs:
         Worker processes; ``1`` runs serially, producing identical rows.
     seed:
@@ -121,7 +100,7 @@ def run_experiment(name: str,
 
     Returns
     -------
-    ExperimentRun
+    RunResult
         Rows, provenance and cache diagnostics of the run.
     """
     registry = registry or default_registry()
@@ -137,10 +116,12 @@ def run_experiment(name: str,
     start = time.perf_counter()
     stored = cache_obj.load(key)
     if stored is not None:
-        return ExperimentRun(spec=spec, params=resolved, seed=seed, jobs=jobs,
-                             cache_hit=True, cache_key=key,
-                             elapsed_s=time.perf_counter() - start,
-                             payload=stored["payload"])
+        return RunResult(spec=spec, params=resolved, seed=seed, jobs=jobs,
+                         cache_hit=True, cache_key=key,
+                         code_version=stored.get("code_version",
+                                                 code_version()),
+                         elapsed_s=time.perf_counter() - start,
+                         payload=stored["payload"])
 
     context = RunContext(executor=make_executor(jobs), cache=cache_obj,
                          seed=seed)
@@ -157,9 +138,10 @@ def run_experiment(name: str,
         })
     except OSError:
         pass  # unwritable cache must not lose a finished computation
-    return ExperimentRun(spec=spec, params=resolved, seed=seed, jobs=jobs,
-                         cache_hit=False, cache_key=key, elapsed_s=elapsed,
-                         payload=payload)
+    return RunResult(spec=spec, params=resolved, seed=seed, jobs=jobs,
+                     cache_hit=False, cache_key=key,
+                     code_version=code_version(), elapsed_s=elapsed,
+                     payload=payload)
 
 
 def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:

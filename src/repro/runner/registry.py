@@ -15,8 +15,13 @@ The default registry is populated lazily (on the first
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, Iterator, Mapping,
+                    Optional, Tuple)
+
+from repro._deprecation import warn_deprecated
+from repro.runner.params import (ParamSchema, ParamSpec,
+                                 ParameterValueError, UnknownParameterError)
 
 
 class UnknownExperimentError(KeyError):
@@ -36,11 +41,10 @@ class UnknownExperimentError(KeyError):
         return self.args[0]
 
 
-@dataclass(frozen=True)
 class ExperimentSpec:
     """Declarative description of one runnable experiment.
 
-    Attributes
+    Parameters
     ----------
     name:
         Registry key and CLI name (e.g. ``fig6_csma``).
@@ -53,9 +57,15 @@ class ExperimentSpec:
         ``runner(params, context)`` where ``params`` is the fully resolved
         parameter mapping and ``context`` a :class:`RunContext`; must return
         a JSON-serialisable dict with at least a ``"rows"`` list.
+    params:
+        The typed parameter declarations — an iterable of
+        :class:`repro.runner.params.ParamSpec` (or a ready
+        :class:`~repro.runner.params.ParamSchema`).  Every override, CLI
+        ``--param`` and sweep axis validates against this schema.
     default_params:
-        Tunable parameters and their default values; CLI ``--param``
-        overrides are validated against these keys.
+        .. deprecated:: 1.1
+            Legacy bare-dict declaration; converted to an inferred-type
+            schema.  Declare ``params=[ParamSpec(...), ...]`` instead.
     output_names:
         Names of the columns of the result rows (documentation; shown by
         ``python -m repro list``).
@@ -67,26 +77,63 @@ class ExperimentSpec:
         drivers still accept ``--jobs`` but will not use the pool.
     """
 
-    name: str
-    title: str
-    figure: str
-    runner: Callable[[Mapping[str, Any], "RunContext"], Dict[str, Any]]
-    default_params: Mapping[str, Any] = field(default_factory=dict)
-    output_names: Tuple[str, ...] = ()
-    expected_runtime_s: float = 1.0
-    supports_jobs: bool = False
+    __slots__ = ("name", "title", "figure", "runner", "schema",
+                 "output_names", "expected_runtime_s", "supports_jobs")
+
+    def __init__(self, name: str, title: str = "", figure: str = "",
+                 runner: Optional[Callable[[Mapping[str, Any], "RunContext"],
+                                           Dict[str, Any]]] = None,
+                 *,
+                 params: Optional[Iterable[ParamSpec]] = None,
+                 default_params: Optional[Mapping[str, Any]] = None,
+                 output_names: Tuple[str, ...] = (),
+                 expected_runtime_s: float = 1.0,
+                 supports_jobs: bool = False):
+        if params is not None and default_params is not None:
+            raise ValueError(f"Experiment {name!r}: give either params= "
+                             f"(typed schema) or the legacy default_params=, "
+                             f"not both")
+        if default_params is not None:
+            warn_deprecated(
+                f"ExperimentSpec(default_params=...) is deprecated; declare "
+                f"a typed schema with params=[ParamSpec(...), ...] "
+                f"(experiment {name!r})", stacklevel=2)
+            schema = ParamSchema.untyped(default_params)
+        elif isinstance(params, ParamSchema):
+            schema = params
+        else:
+            schema = ParamSchema(params or ())
+        self.name = name
+        self.title = title
+        self.figure = figure
+        self.runner = runner
+        self.schema = schema
+        self.output_names = tuple(output_names)
+        self.expected_runtime_s = expected_runtime_s
+        self.supports_jobs = supports_jobs
+
+    @property
+    def default_params(self) -> Dict[str, Any]:
+        """The canonical default of every parameter (derived from the schema)."""
+        return self.schema.defaults()
 
     def resolve_params(self, overrides: Optional[Mapping[str, Any]] = None
                        ) -> Dict[str, Any]:
-        """Merge ``overrides`` into the defaults, rejecting unknown keys."""
-        params = dict(self.default_params)
-        for key, value in (overrides or {}).items():
-            if key not in params:
-                raise KeyError(
-                    f"Experiment {self.name!r} has no parameter {key!r}; "
-                    f"tunable parameters: {', '.join(sorted(params)) or '(none)'}")
-            params[key] = value
-        return params
+        """Merge ``overrides`` into the defaults, coercing every value.
+
+        Values are canonicalised through the schema (``"4"`` resolves like
+        ``4``), so equivalent spellings produce identical resolved
+        parameters — and therefore identical cache keys.
+
+        Raises
+        ------
+        UnknownParameterError
+            (a ``KeyError``) for unknown names, with close-match
+            suggestions.
+        ParameterValueError
+            (a ``ValueError``) for values outside a parameter's domain.
+        """
+        return self.schema.resolve(overrides, experiment=self.name)
 
 
 @dataclass

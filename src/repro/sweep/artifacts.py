@@ -6,9 +6,10 @@ reproducibility: running the same sweep spec twice (same axes, same seed,
 same code version) must export identical files.  Nothing time- or
 host-dependent is ever written; wall-clock diagnostics stay on the console.
 
-``write_rows_csv``/``write_rows_json`` are shared with the engine CLI's
-``run --output`` exporter, so single-run rows and sweep tables serialise
-identically.
+The generic row writers live in :mod:`repro.analysis.io` (below the runner
+in the layering) and are re-exported here unchanged, so single-run rows
+(``run --output``, :meth:`repro.runner.result.RunResult.to_csv`) and sweep
+tables serialise identically.
 
 Layout of :func:`export_sweep`::
 
@@ -20,69 +21,16 @@ Layout of :func:`export_sweep`::
 
 from __future__ import annotations
 
-import csv
-import io
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Optional
 
+from repro.analysis.io import (ROW_FORMATS, ordered_columns,  # noqa: F401
+                               rows_to_csv_text, rows_to_json_text,
+                               write_rows)
 from repro.runner.cache import code_version
 from repro.sweep.driver import SweepRunResult
-
-#: Formats the row writers (and the CLI ``--output`` flag) understand.
-ROW_FORMATS = ("csv", "json")
-
-
-def ordered_columns(rows: Sequence[Mapping[str, Any]]) -> List[str]:
-    """Union of the rows' keys, in first-seen order."""
-    columns: List[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
-    return columns
-
-
-def rows_to_csv_text(rows: Sequence[Mapping[str, Any]],
-                     columns: Optional[Sequence[str]] = None) -> str:
-    """Render rows as CSV text (missing values and ``None`` are empty)."""
-    columns = list(columns) if columns is not None else ordered_columns(rows)
-    buffer = io.StringIO()
-    writer = csv.writer(buffer, lineterminator="\n")
-    writer.writerow(columns)
-    for row in rows:
-        writer.writerow(["" if row.get(column) is None else row.get(column)
-                         for column in columns])
-    return buffer.getvalue()
-
-
-def rows_to_json_text(rows: Sequence[Mapping[str, Any]]) -> str:
-    """Render rows as pretty-printed JSON text (stable key order)."""
-    return json.dumps(list(rows), indent=2, sort_keys=True) + "\n"
-
-
-def write_rows(rows: Sequence[Mapping[str, Any]], path: os.PathLike,
-               fmt: Optional[str] = None,
-               columns: Optional[Sequence[str]] = None) -> Path:
-    """Write rows to ``path`` as CSV or JSON.
-
-    ``fmt`` of ``None`` is inferred from the file extension (``.json`` ->
-    JSON, anything else -> CSV).
-    """
-    path = Path(path)
-    if fmt is None:
-        fmt = "json" if path.suffix.lower() == ".json" else "csv"
-    if fmt not in ROW_FORMATS:
-        raise ValueError(f"Unknown row format {fmt!r}; "
-                         f"choose one of {', '.join(ROW_FORMATS)}")
-    if fmt == "json":
-        text = rows_to_json_text(rows)
-    else:
-        text = rows_to_csv_text(rows, columns=columns)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(text, encoding="utf-8")
-    return path
 
 
 def sweep_manifest(result: SweepRunResult) -> Dict[str, Any]:

@@ -5,6 +5,7 @@ Wired into ``python -m repro`` by :mod:`repro.runner.cli`::
     python -m repro sweep list                        # registered sweeps
     python -m repro sweep run node_density --quick    # run (resumes from cache)
     python -m repro sweep run duty_cycle -j 4 --export out/
+    python -m repro sweep run node_density --param superframes=10
     python -m repro sweep status node_density --quick # cache occupancy
     python -m repro sweep export tx_policy --quick --out out/
 
@@ -20,8 +21,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
 
+# Shared --param reader — one table, one behaviour for both the runner and
+# the sweep CLI (see repro.runner.params.parse_param).
+from repro.runner.params import parse_param
+from repro.runner.params import parse_param_arg as _parse_param
 from repro.sweep.analysis import knee_point, pareto_front
 from repro.sweep.artifacts import export_sweep
 from repro.sweep.catalog import (UnknownSweepError, get_sweep,
@@ -49,6 +53,12 @@ def add_sweep_parser(commands) -> None:
         parser.add_argument("--cache-dir", default=None,
                             help="result cache directory (default "
                                  "REPRO_CACHE_DIR or ~/.cache/repro-bougard)")
+        parser.add_argument("--param", action="append", type=_parse_param,
+                            default=[], metavar="KEY=VALUE",
+                            help="override one base parameter of the sweep "
+                                 "(repeatable; validated against the "
+                                 "experiment schema; axes cannot be "
+                                 "overridden)")
 
     run_parser = actions.add_parser(
         "run", help="run a sweep (finished points resume from the cache)")
@@ -79,7 +89,11 @@ def add_sweep_parser(commands) -> None:
 
 
 def _resolve_spec(arguments: argparse.Namespace) -> SweepSpec:
-    return get_sweep(arguments.sweep, quick=arguments.quick)
+    spec = get_sweep(arguments.sweep, quick=arguments.quick)
+    overrides = dict(getattr(arguments, "param", []) or [])
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec
 
 
 def _print_front(result) -> None:
@@ -186,6 +200,11 @@ def command_sweep(arguments: argparse.Namespace) -> int:
         return handler(arguments)
     except UnknownSweepError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        # e.g. an unknown --param name (UnknownParameterError); keep the
+        # schema's did-you-mean message, drop the traceback.
+        print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

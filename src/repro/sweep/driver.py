@@ -114,12 +114,17 @@ def expand_points(spec: SweepSpec,
                   ) -> List[SweepPoint]:
     """Expand a spec into concrete points with their engine cache keys.
 
-    Axis and base parameter names are validated against the experiment's
-    ``default_params`` here (via ``resolve_params``), so a typo fails before
-    any simulation starts, and the computed keys are exactly the keys
+    Axis and base parameters resolve through the experiment's typed schema
+    here (``resolve_params``: validation plus canonical coercion — specs
+    built from payloads of older code versions fail loudly rather than
+    run), and the computed keys are exactly the keys
     :func:`repro.runner.engine.run_experiment` will use — resume for free.
+
+    Registry precedence: an explicit ``registry`` argument, else the
+    registry the spec itself was built against (``SweepSpec.registry``),
+    else the default catalogue.
     """
-    registry = registry or default_registry()
+    registry = registry or spec.registry or default_registry()
     experiment = registry.get(spec.experiment)
     cache_obj = resolve_cache(cache, cache_root)
     points: List[SweepPoint] = []
@@ -239,6 +244,7 @@ def run_sweep(spec: SweepSpec,
         Wide rows in expansion order plus cache/compute accounting.
     """
     start = time.perf_counter()
+    registry = registry or spec.registry  # None: workers use the default
     points = expand_points(spec, cache=cache, cache_root=cache_root,
                            registry=registry)
     executor = executor if executor is not None else make_executor(jobs)

@@ -10,6 +10,12 @@ the engine's content-addressed cache key for free, and an interrupted sweep
 resumes from the cache instead of recomputing (see
 :mod:`repro.sweep.driver`).
 
+Specs validate *at build time* against the target experiment's typed
+parameter schema (:class:`repro.runner.params.ParamSchema`): an unknown
+experiment, an unknown axis/base-parameter name or an out-of-domain value
+raises before any compute, with a message naming the experiment, the
+parameter and the allowed domain.
+
 Specs serialise to plain JSON (:meth:`SweepSpec.to_payload` /
 :func:`spec_from_payload`) and hash stably (:meth:`SweepSpec.spec_hash`), so
 a sweep's exported manifest pins exactly what was explored.
@@ -218,6 +224,13 @@ class SweepSpec:
         (:func:`repro.sweep.analysis.pareto_front`); optional.
     title:
         One-line human description.
+    registry:
+        Experiment registry the spec validates (and canonicalises) its
+        parameters against; ``None`` uses the default catalogue.  Pass the
+        same custom registry here and to
+        :func:`repro.sweep.driver.run_sweep` when sweeping a non-catalogue
+        experiment.  Not part of the spec's identity: excluded from
+        payloads, hashes and equality.
     """
 
     name: str
@@ -227,6 +240,7 @@ class SweepSpec:
     seed: int = DEFAULT_SEED
     objectives: Mapping[str, str] = field(default_factory=dict)
     title: str = ""
+    registry: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if not self.axes:
@@ -244,6 +258,65 @@ class SweepSpec:
                 raise ValueError(
                     f"Objective {metric!r} has sense {sense!r}; "
                     f"use '{SENSE_MIN}' or '{SENSE_MAX}'")
+        self._validate_against_schema()
+
+    def _validate_against_schema(self) -> None:
+        """Validate and canonicalise the spec against the experiment schema.
+
+        Runs at spec-*build* time: an unknown experiment, an unknown
+        parameter name or an out-of-domain axis value fails here — with a
+        message naming the experiment, the parameter and the allowed domain
+        — before any simulation (or even point expansion) starts.
+
+        Base parameters and explicit grid values are stored in their
+        *canonical* coerced form, so equivalent spellings of one design
+        space (``superframes="4"`` vs ``4``) produce identical payloads,
+        manifests and :meth:`spec_hash` values — matching the engine's
+        canonical cache keys.
+        """
+        registry = self.registry
+        if registry is None:
+            from repro.runner.registry import default_registry
+            registry = default_registry()
+        schema = registry.get(self.experiment).schema
+
+        def canonical(name, value):
+            return schema.validate(name, value, experiment=self.experiment)
+
+        object.__setattr__(self, "base_params",
+                           {name: canonical(name, value)
+                            for name, value in self.base_params.items()})
+        axes = {name: GridAxis(tuple(canonical(name, value)
+                                     for value in axis.values))
+                if isinstance(axis, GridAxis) else axis
+                for name, axis in self.axes.items()}
+        object.__setattr__(self, "axes", axes)
+        # Range/random axes generate their values; validate the generated
+        # points (this also catches unknown non-grid axis names).
+        for name, values in self.axis_values().items():
+            for value in values:
+                canonical(name, value)
+
+    # -- derivation ---------------------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "SweepSpec":
+        """A copy of this spec with ``overrides`` merged into ``base_params``.
+
+        This is what the sweep CLI's ``--param`` flag builds; overriding a
+        parameter the sweep *varies* is rejected (pinning an axis would
+        silently change the design space's shape).  The copy re-validates
+        against the experiment schema, so its hash and manifests stay
+        honest.
+        """
+        overlap = sorted(set(overrides) & set(self.axes))
+        if overlap:
+            raise ValueError(
+                f"Sweep {self.name!r} varies {', '.join(overlap)} as "
+                f"axis/axes; remove the override or define a new spec")
+        merged = {**self.base_params, **dict(overrides)}
+        return SweepSpec(name=self.name, experiment=self.experiment,
+                         axes=self.axes, base_params=merged, seed=self.seed,
+                         objectives=self.objectives, title=self.title,
+                         registry=self.registry)
 
     # -- expansion ----------------------------------------------------------------
     def axis_values(self) -> Dict[str, List[Any]]:

@@ -1,0 +1,39 @@
+"""One-way layering: the runner must not know about repro.api or repro.sweep.
+
+``repro.api`` sits on top of both the runner and the sweep subsystem; the
+runner package must import neither at import time (the CLI wires the sweep
+command tree in lazily).  CI runs the same assertion as a standalone step.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _run(code: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        timeout=120, env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+
+
+def test_importing_the_runner_pulls_in_neither_api_nor_sweep():
+    completed = _run(
+        "import sys; import repro.runner, repro.runner.cli; "
+        "offenders = sorted(m for m in sys.modules "
+        "if m.startswith(('repro.api', 'repro.sweep'))); "
+        "assert not offenders, offenders")
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_importing_the_facade_is_self_contained_and_runs(tmp_path):
+    """The documented entry point works from a cold interpreter."""
+    completed = _run(
+        "import repro.api as api; "
+        f"session = api.Session(cache_dir={str(tmp_path)!r}); "
+        "result = session.run('fig3_radio'); "
+        "assert result.rows and not result.cache_hit; "
+        "print(result.experiment, len(result.rows))")
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.startswith("fig3_radio")

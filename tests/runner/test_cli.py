@@ -63,6 +63,17 @@ class TestCommands:
         assert main(["list", "--verbose"]) == 0
         assert "--param num_windows=" in capsys.readouterr().out
 
+    def test_list_verbose_renders_the_typed_schema(self, capsys):
+        """Every parameter line shows default, domain and doc string."""
+        assert main(["list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "--param num_windows=15  [int in [1, 64]]" in out
+        assert "--param tx_policy='adaptive'  [one of 'adaptive', 'fixed']" \
+            in out
+        assert "--param superframe_order=None  [int in [0, 14] or None]" \
+            in out
+        assert "channel inversion" in out  # doc strings are rendered
+
     def test_run_and_cache_hit(self, tmp_path, capsys):
         cache_args = ["--cache-dir", str(tmp_path)]
         assert main(["run", "fig6_csma", "--jobs", "2", *TINY_ARGS,
@@ -87,6 +98,33 @@ class TestCommands:
         assert main(["run", "fig6_csma", "--no-cache",
                      "--param", "bogus=1"]) == 2
         assert "no parameter" in capsys.readouterr().err
+
+    def test_unknown_param_fails_with_close_match_suggestion(self, capsys):
+        """Satellite: --param typos get did-you-mean suggestions, like
+        experiment names always have."""
+        assert main(["run", "fig6_csma", "--no-cache",
+                     "--param", "num_widnows=2"]) == 2
+        err = capsys.readouterr().err
+        assert "no parameter 'num_widnows'" in err
+        assert "Did you mean: num_windows" in err
+
+    def test_out_of_domain_param_fails_with_the_domain(self, capsys):
+        assert main(["run", "fig6_csma", "--no-cache",
+                     "--param", "num_windows=0"]) == 2
+        err = capsys.readouterr().err
+        assert "num_windows" in err and "int in [1, 64]" in err
+
+    def test_equivalent_param_spellings_replay_from_cache(self, tmp_path,
+                                                          capsys):
+        """Acceptance: ``--param num_windows=4`` and ``--param
+        num_windows="4"`` canonicalise to the same cache key."""
+        cache_args = ["--cache-dir", str(tmp_path)]
+        assert main(["run", "fig6_csma", "--quiet", *TINY_ARGS[:-2],
+                     "--param", "num_nodes=20", *cache_args]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig6_csma", "--quiet", *TINY_ARGS[:-2],
+                     "--param", 'num_nodes="20"', *cache_args]) == 0
+        assert "[cache]" in capsys.readouterr().out
 
     def test_run_output_file_csv(self, tmp_path, capsys):
         out_file = tmp_path / "rows.csv"

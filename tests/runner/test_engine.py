@@ -58,6 +58,31 @@ class TestResultCacheIntegration:
                                cache_root=tmp_path, seed=11)
         assert not rerun.cache_hit
 
+    def test_equivalent_param_spellings_share_one_cache_entry(self, tmp_path):
+        """Acceptance: parameters are canonicalised through the typed
+        schema before keying, so ``num_windows="4"`` and ``num_windows=4``
+        (and ``4.0``) resolve to the same artifact."""
+        base = dict(TINY_FIG6, num_windows=4)
+        first = run_experiment("fig6_csma", params=base,
+                               cache_root=tmp_path, seed=11)
+        for spelling in ("4", 4.0):
+            replay = run_experiment("fig6_csma",
+                                    params=dict(TINY_FIG6,
+                                                num_windows=spelling),
+                                    cache_root=tmp_path, seed=11)
+            assert replay.cache_key == first.cache_key
+            assert replay.cache_hit
+            assert replay.params == first.params
+        assert len(ResultCache(root=tmp_path)) == 1
+
+    def test_out_of_domain_param_never_reaches_the_cache(self, tmp_path):
+        from repro.runner.params import ParameterValueError
+        with pytest.raises(ParameterValueError, match="num_windows"):
+            run_experiment("fig6_csma",
+                           params=dict(TINY_FIG6, num_windows=0),
+                           cache_root=tmp_path, seed=11)
+        assert len(ResultCache(root=tmp_path)) == 0
+
     def test_seed_change_misses(self, tmp_path):
         run_experiment("fig6_csma", params=TINY_FIG6, cache_root=tmp_path,
                        seed=11)

@@ -2,6 +2,9 @@
 
 import pytest
 
+from repro._deprecation import reset_deprecation_registry
+from repro.runner.params import (ParamSpec, ParameterValueError,
+                                 UnknownParameterError)
 from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
                                    UnknownExperimentError, default_registry)
 
@@ -45,14 +48,52 @@ class TestRegistry:
 
 class TestResolveParams:
     def test_defaults_and_overrides(self):
-        spec = _spec(default_params={"a": 1, "b": 2})
+        spec = _spec(params=[ParamSpec("a", "int", 1),
+                             ParamSpec("b", "int", 2)])
         assert spec.resolve_params() == {"a": 1, "b": 2}
         assert spec.resolve_params({"b": 7}) == {"a": 1, "b": 7}
 
     def test_unknown_parameter_rejected(self):
-        spec = _spec(default_params={"a": 1})
+        spec = _spec(params=[ParamSpec("a", "int", 1)])
         with pytest.raises(KeyError, match="no parameter 'nope'"):
             spec.resolve_params({"nope": 3})
+
+    def test_unknown_parameter_suggests_close_matches(self):
+        spec = _spec(params=[ParamSpec("num_windows", "int", 15)])
+        with pytest.raises(UnknownParameterError,
+                           match="Did you mean: num_windows"):
+            spec.resolve_params({"num_widnows": 3})
+
+    def test_overrides_are_coerced_to_canonical_types(self):
+        spec = _spec(params=[ParamSpec("n", "int", 1),
+                             ParamSpec("x", "float", 0.5)])
+        assert spec.resolve_params({"n": "4", "x": 2}) == {"n": 4, "x": 2.0}
+
+    def test_out_of_domain_value_names_experiment_param_and_domain(self):
+        spec = _spec(params=[ParamSpec("n", "int", 1, minimum=1, maximum=9)])
+        with pytest.raises(ParameterValueError) as excinfo:
+            spec.resolve_params({"n": 99})
+        message = str(excinfo.value)
+        assert "'demo'" in message and "'n'" in message
+        assert "int in [1, 9]" in message
+
+    def test_default_params_is_derived_from_the_schema(self):
+        spec = _spec(params=[ParamSpec("a", "int", 1)])
+        assert spec.default_params == {"a": 1}
+
+
+class TestLegacyDefaultParams:
+    def test_legacy_mapping_still_works_with_a_deprecation_warning(self):
+        reset_deprecation_registry()
+        with pytest.deprecated_call(match="default_params"):
+            spec = _spec(default_params={"a": 1, "b": 0.5})
+        assert spec.resolve_params({"b": 2}) == {"a": 1, "b": 2.0}
+        # Types are inferred from the defaults, so coercion still applies.
+        assert spec.resolve_params({"a": "7"})["a"] == 7
+
+    def test_schema_and_legacy_mapping_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            _spec(params=[ParamSpec("a", "int", 1)], default_params={"a": 1})
 
 
 class TestDefaultRegistry:
@@ -72,3 +113,28 @@ class TestDefaultRegistry:
 
     def test_is_built_once(self):
         assert default_registry() is default_registry()
+
+    def test_every_experiment_exposes_a_non_empty_typed_schema(self):
+        """Acceptance: no registered experiment is stringly-typed — every
+        parameter carries a declared type, default and domain."""
+        for spec in default_registry():
+            assert len(spec.schema) > 0, spec.name
+            for param in spec.schema:
+                assert param.type != "any", (spec.name, param.name)
+                assert param.domain()
+
+    def test_fig3_pins_the_papers_idle_goal_ratio(self):
+        """The 'idle / scavenging goal' row must anchor on the paper's
+        literal 7.0 claim — not a rescaling of the measurement — so the
+        comparison can actually fail if the CC2420 model drifts."""
+        from repro.runner.engine import run_experiment
+        run = run_experiment("fig3_radio", cache=False)
+        row = [r for r in run.rows if "scavenging goal" in r["quantity"]][0]
+        assert row["paper_value"] == 7.0
+        assert row["within_tolerance"]
+
+    def test_schema_defaults_resolve_cleanly(self):
+        """Every declared default passes its own validation (the schema
+        constructor coerces them; resolve() must return them unchanged)."""
+        for spec in default_registry():
+            assert spec.resolve_params() == spec.default_params

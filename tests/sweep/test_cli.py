@@ -134,3 +134,50 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "Unknown sweep" in err
         assert "node_density" in err
+
+
+class TestSweepParamOverrides:
+    """The shared --param flag on the sweep command tree."""
+
+    def test_param_overrides_base_parameters(self, tmp_path, capsys):
+        assert main(["sweep", "run", "node_density", "--quick", "--quiet",
+                     "--cache-dir", str(tmp_path),
+                     "--param", "superframes=2"]) == 0
+        assert "3 points (3 computed" in capsys.readouterr().out
+
+    def test_param_changes_the_spec_hash(self, tmp_path, capsys):
+        base = ["sweep", "status", "node_density", "--quick",
+                "--cache-dir", str(tmp_path)]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main([*base, "--param", "superframes=2"]) == 0
+        overridden = capsys.readouterr().out
+
+        def spec_hash(text):
+            return [line.split("spec_hash=")[1].strip()
+                    for line in text.splitlines() if "spec_hash=" in line][0]
+
+        assert spec_hash(plain) != spec_hash(overridden)
+
+    def test_unknown_param_fails_with_suggestion(self, tmp_path, capsys):
+        assert main(["sweep", "run", "node_density", "--quick",
+                     "--cache-dir", str(tmp_path),
+                     "--param", "superfames=2"]) == 2
+        err = capsys.readouterr().err
+        assert "no parameter 'superfames'" in err
+        assert "Did you mean: superframes" in err
+
+    def test_out_of_domain_param_fails_with_the_domain(self, tmp_path,
+                                                       capsys):
+        assert main(["sweep", "run", "node_density", "--quick",
+                     "--cache-dir", str(tmp_path),
+                     "--param", "beacon_order=99"]) == 2
+        err = capsys.readouterr().err
+        assert "case_study_full" in err
+        assert "int in [0, 14]" in err
+
+    def test_axis_parameters_cannot_be_overridden(self, tmp_path, capsys):
+        assert main(["sweep", "run", "node_density", "--quick",
+                     "--cache-dir", str(tmp_path),
+                     "--param", "total_nodes=8"]) == 2
+        assert "axis" in capsys.readouterr().err

@@ -42,17 +42,23 @@ class TestExpandPoints:
                              seed=TINY.seed, cache_root=tmp_path)
         assert run.cache_key == point.cache_key
 
-    def test_unknown_axis_parameter_fails_before_running(self, tmp_path):
-        bad = SweepSpec(name="bad", experiment="case_study_full",
-                        axes={"warp_factor": GridAxis((1, 2))})
+    def test_unknown_axis_parameter_fails_at_build_time(self):
+        """An invalid sweep never exists: the spec constructor validates
+        axes against the experiment's typed schema, naming the experiment
+        and the parameter (with suggestions) before any compute."""
         with pytest.raises(KeyError, match="warp_factor"):
-            expand_points(bad, cache_root=tmp_path)
+            SweepSpec(name="bad", experiment="case_study_full",
+                      axes={"warp_factor": GridAxis((1, 2))})
 
-    def test_unknown_experiment_fails(self, tmp_path):
-        bad = SweepSpec(name="bad", experiment="fig0_nope",
-                        axes={"total_nodes": GridAxis((1,))})
-        with pytest.raises(KeyError):
-            expand_points(bad, cache_root=tmp_path)
+    def test_out_of_bounds_axis_value_fails_at_build_time(self):
+        with pytest.raises(ValueError, match="beacon_order"):
+            SweepSpec(name="bad", experiment="case_study_full",
+                      axes={"beacon_order": GridAxis((3, 99))})
+
+    def test_unknown_experiment_fails_at_build_time(self):
+        with pytest.raises(KeyError, match="fig0_nope"):
+            SweepSpec(name="bad", experiment="fig0_nope",
+                      axes={"total_nodes": GridAxis((1,))})
 
 
 class TestRunSweep:

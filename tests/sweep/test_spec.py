@@ -123,10 +123,12 @@ class TestSweepSpec:
 
     def test_random_axis_depends_on_master_seed(self):
         values_a = self.spec(
-            axes={"total_nodes": RandomAxis(low=10, high=100, count=3)},
+            axes={"total_nodes": RandomAxis(low=10, high=1000, count=3,
+                                            dtype="int")},
             seed=1).expand_axes()
         values_b = self.spec(
-            axes={"total_nodes": RandomAxis(low=10, high=100, count=3)},
+            axes={"total_nodes": RandomAxis(low=10, high=1000, count=3,
+                                            dtype="int")},
             seed=2).expand_axes()
         assert values_a != values_b
 
@@ -144,6 +146,88 @@ class TestSweepSpec:
         clone = self.spec()
         assert spec.spec_hash() == clone.spec_hash()
         assert len(spec.spec_hash()) == 16
+
+    def test_build_time_validation_names_experiment_param_and_domain(self):
+        """Acceptance: an out-of-bounds axis value fails when the spec is
+        *built*, and the message carries everything needed to fix it."""
+        with pytest.raises(ValueError) as excinfo:
+            self.spec(axes={"beacon_order": GridAxis((3, 99))})
+        message = str(excinfo.value)
+        assert "case_study_full" in message
+        assert "beacon_order" in message
+        assert "int in [0, 14]" in message
+
+    def test_base_params_validate_at_build_time_too(self):
+        with pytest.raises(KeyError, match="Did you mean: superframes"):
+            self.spec(base_params={"superfames": 4})
+
+    def test_axis_values_are_type_checked(self):
+        with pytest.raises(ValueError, match="tx_policy"):
+            self.spec(axes={"tx_policy": GridAxis(("adaptive", "warp"))})
+
+    def test_equivalent_spellings_canonicalise_to_one_spec_hash(self):
+        """Base params and grid values are stored in canonical coerced
+        form, so spelling variants of one design space share a hash (and
+        therefore a manifest), matching the engine's canonical keys."""
+        plain = self.spec(base_params={"superframes": 4})
+        spelled = self.spec(base_params={"superframes": "4"})
+        assert spelled.base_params == {"superframes": 4}
+        assert spelled.spec_hash() == plain.spec_hash()
+        int_axis = self.spec(axes={"total_nodes": GridAxis((8, 16))})
+        float_axis = self.spec(axes={"total_nodes": GridAxis((8, 16.0))})
+        assert float_axis.axes["total_nodes"].values == (8, 16)
+        assert float_axis.spec_hash() == int_axis.spec_hash()
+
+    @staticmethod
+    def _custom_registry():
+        from repro.runner.params import ParamSpec
+        from repro.runner.registry import ExperimentRegistry, ExperimentSpec
+
+        registry = ExperimentRegistry()
+        registry.register(ExperimentSpec(
+            "custom_exp", "t", "f", lambda p, c: {"rows": []},
+            params=[ParamSpec("n", "int", 1, minimum=1)]))
+        return registry
+
+    def test_custom_registry_specs_validate_against_that_registry(self):
+        """A sweep over a non-catalogue experiment builds when the spec
+        carries its registry (regression: validation used to hard-code the
+        default catalogue)."""
+        registry = self._custom_registry()
+        spec = SweepSpec(name="custom", experiment="custom_exp",
+                         axes={"n": GridAxis((1, 2))}, registry=registry)
+        assert spec.num_points() == 2
+        with pytest.raises(ValueError, match="'n'"):
+            SweepSpec(name="custom", experiment="custom_exp",
+                      axes={"n": GridAxis((0,))}, registry=registry)
+        # The registry is policy, not identity: payloads and hashes match
+        # a default-registry spec's shape and never embed it.
+        assert "registry" not in spec.to_payload()
+
+    def test_custom_registry_specs_run_end_to_end(self):
+        """run_sweep / sweep_status / Session.sweep all honour the spec's
+        own registry (regression: it used to be dropped at run time)."""
+        import repro.api as api
+        from repro.sweep.driver import run_sweep, sweep_status
+
+        spec = SweepSpec(name="custom", experiment="custom_exp",
+                         axes={"n": GridAxis((1, 2))},
+                         registry=self._custom_registry())
+        result = run_sweep(spec, cache=False)
+        assert [row["n"] for row in result.rows] == [1, 2]
+        assert sweep_status(spec, cache=False).pending_count == 2
+        session_result = api.Session(cache=False).sweep(spec)
+        assert [row["n"] for row in session_result.rows] == [1, 2]
+
+    def test_with_overrides_rebuilds_and_revalidates(self):
+        spec = self.spec()
+        merged = spec.with_overrides({"superframes": 8})
+        assert merged.base_params["superframes"] == 8
+        assert merged.spec_hash() != spec.spec_hash()
+        with pytest.raises(ValueError, match="axis"):
+            spec.with_overrides({"total_nodes": 8})
+        with pytest.raises(ValueError, match="superframes"):
+            spec.with_overrides({"superframes": 0})
 
     def test_spec_hash_changes_with_content(self):
         base = self.spec()

@@ -1,0 +1,90 @@
+"""Deprecation shims: once-per-call-site warnings, warning-clean internals.
+
+The tier-1 suite itself enforces ``error::DeprecationWarning`` (see
+``pyproject.toml``), so any *internal* caller reaching a shim fails its own
+test — these tests additionally pin the shim mechanics for external
+callers.
+"""
+
+import warnings
+
+import pytest
+
+from repro._deprecation import reset_deprecation_registry, warn_deprecated
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+def _trigger(message="shim message"):
+    # stacklevel=2: the registered call site is _trigger's *caller*, like a
+    # real shim attributing the warning to user code.
+    warn_deprecated(message, stacklevel=2)
+
+
+class TestOncePerCallSite:
+    def test_repeated_calls_from_one_site_warn_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                _trigger()  # one call site, hit five times
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+
+    def test_distinct_call_sites_each_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _trigger()  # first call site
+            _trigger()  # second call site
+        assert len(caught) == 2
+
+    def test_error_filter_still_marks_the_site_as_seen(self):
+        """Under -W error::DeprecationWarning the first hit raises; the
+        site must not raise again (the shim registered it before
+        warning)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for attempt in range(2):
+                try:
+                    _trigger("error-filter site")
+                except DeprecationWarning:
+                    assert attempt == 0, "second hit warned again"
+
+
+class TestShimmedSurfaces:
+    def test_experiment_run_alias_warns_once_per_site(self):
+        import repro.runner.engine as engine
+        from repro.runner import RunResult
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                assert engine.ExperimentRun is RunResult  # one site
+        assert len(caught) == 1
+        assert "ExperimentRun" in str(caught[0].message)
+
+    def test_legacy_default_params_warns_once_per_site(self):
+        from repro.runner.registry import ExperimentSpec
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                ExperimentSpec("demo", "t", "f", lambda p, c: {"rows": []},
+                               default_params={"a": 1})  # one site
+        assert len(caught) == 1
+        assert "default_params" in str(caught[0].message)
+
+
+class TestInternalCallersAreClean:
+    def test_import_and_run_raise_no_deprecation_warnings(self, tmp_path):
+        """Satellite: internal call paths never touch a shim — a tiny
+        end-to-end run under an error filter must pass."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.runner import run_experiment
+            from repro.runner.cli import main
+            run = run_experiment("fig3_radio", cache_root=tmp_path)
+            assert run.rows
+            assert main(["list", "--verbose"]) == 0

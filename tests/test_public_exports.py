@@ -9,6 +9,8 @@ import importlib
 
 import pytest
 
+from repro._deprecation import reset_deprecation_registry
+
 
 PUBLIC_SURFACE = {
     "repro": ["EnergyModel", "ModelConfig", "NodeEnergyBudget", "CaseStudy",
@@ -49,11 +51,17 @@ PUBLIC_SURFACE = {
                           "run_fig8_packet_size", "run_fig9_breakdown",
                           "run_case_study", "run_improvements",
                           "run_model_vs_simulation", "default_model"],
-    "repro.runner": ["run_experiment", "ExperimentRun", "ExperimentSpec",
+    "repro.runner": ["run_experiment", "RunResult", "ExperimentSpec",
                      "ExperimentRegistry", "UnknownExperimentError",
                      "default_registry", "SerialExecutor", "ProcessExecutor",
                      "make_executor", "run_ordered", "ResultCache",
-                     "NullCache", "code_version", "DEFAULT_SEED"],
+                     "NullCache", "code_version", "DEFAULT_SEED",
+                     "ParamSpec", "ParamSchema", "ParameterValueError",
+                     "UnknownParameterError", "parse_param"],
+    "repro.api": ["Session", "RunResult", "SweepSpec", "GridAxis",
+                  "RangeAxis", "RandomAxis", "ParamSpec", "ParamSchema",
+                  "ParameterValueError", "UnknownParameterError",
+                  "UnknownExperimentError", "DEFAULT_SEED", "code_version"],
     "repro.sweep": ["SweepSpec", "GridAxis", "RangeAxis", "RandomAxis",
                     "run_sweep", "sweep_status", "expand_points",
                     "SweepRunResult", "SweepPoint", "SweepStatus",
@@ -77,3 +85,22 @@ def test_all_lists_are_importable(module_name):
     exported = getattr(module, "__all__", [])
     for name in exported:
         assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+#: Deprecated names that must keep resolving — with a DeprecationWarning —
+#: until their removal release.
+DEPRECATED_SURFACE = {
+    "repro.runner": ["ExperimentRun"],
+    "repro.runner.engine": ["ExperimentRun"],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(DEPRECATED_SURFACE))
+def test_deprecated_names_resolve_with_a_warning(module_name):
+    module = importlib.import_module(module_name)
+    from repro.runner import RunResult
+    for name in DEPRECATED_SURFACE[module_name]:
+        reset_deprecation_registry()
+        with pytest.deprecated_call(match=name):
+            resolved = getattr(module, name)
+        assert resolved is RunResult
