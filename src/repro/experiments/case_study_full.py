@@ -25,6 +25,7 @@ from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_table
 from repro.network.simulate import aggregate_channel_rows, simulate_network
 from repro.network.spec import CASE_STUDY_SPEC, ScenarioSpec
+from repro.network.traffic import build_traffic_model
 
 #: Paper values the simulated network is compared against.
 PAPER_FAILURE_PROBABILITY = 0.16
@@ -52,6 +53,9 @@ def run_full_case_study(total_nodes: int = 1600,
                         battery_life_extension: bool = False,
                         csma_convention: str = "paper",
                         tx_policy: str = "adaptive",
+                        traffic_model: str = "saturated",
+                        traffic_rate_scale: float = 1.0,
+                        traffic_mix: float = 0.25,
                         seed: Optional[int] = 0,
                         executor=None) -> FullCaseStudyResult:
     """Simulate the dense network at full scale and report the trends.
@@ -60,6 +64,12 @@ def run_full_case_study(total_nodes: int = 1600,
     ``superframe_order`` of ``None`` means SO = BO (no inactive portion),
     ``nodes_per_channel_cap`` truncates channel populations for scaled-down
     runs (tests, quick CLI smoke), ``executor`` fans the channels out.
+    ``traffic_model`` selects the per-node packet process
+    (:data:`repro.network.traffic.TRAFFIC_MODEL_KINDS`):
+    ``"saturated"`` — the default — is the paper's one-packet-per-superframe
+    assumption; ``traffic_rate_scale`` scales the stochastic models' mean
+    packet rate against the paper's periodic baseline, and ``traffic_mix``
+    is the bursty-alarm fraction of the ``"mixed"`` population.
     """
     spec = ScenarioSpec(
         name="case_study_full",
@@ -68,6 +78,11 @@ def run_full_case_study(total_nodes: int = 1600,
         beacon_order=beacon_order,
         superframe_order=superframe_order,
         payload_bytes=payload_bytes,
+        traffic=(None if traffic_model == "saturated" else
+                 build_traffic_model(traffic_model,
+                                     payload_bytes=payload_bytes,
+                                     rate_scale=traffic_rate_scale,
+                                     mix_fraction=traffic_mix)),
         battery_life_extension=battery_life_extension,
         csma_convention=csma_convention,
         tx_policy=tx_policy,
@@ -84,16 +99,26 @@ def run_full_case_study(total_nodes: int = 1600,
         title="Full-scale packet-level case study "
               f"({aggregate['nodes']} nodes, {aggregate['channels']} "
               f"channels, {superframes} superframes)")
+    # The paper's headline numbers assume the saturated workload (one
+    # packet per superframe); under any other traffic model the figures
+    # are reported without a tolerance band.
+    paper_comparable = traffic_model == "saturated"
     report.add("transaction failure probability",
-               PAPER_FAILURE_PROBABILITY, aggregate["failure_probability"],
-               tolerance=0.8,
+               PAPER_FAILURE_PROBABILITY if paper_comparable else None,
+               aggregate["failure_probability"],
+               tolerance=0.8 if paper_comparable else None,
                note="paper's analytical 16 %; simulated network-wide "
-                    "fraction of undelivered packets")
+                    "fraction of undelivered packets"
+                    if paper_comparable else
+                    f"paper-incomparable workload ({traffic_model} traffic)")
     report.add("average node power [uW]",
-               PAPER_AVERAGE_POWER_UW, aggregate["mean_power_uw"],
-               tolerance=0.5,
+               PAPER_AVERAGE_POWER_UW if paper_comparable else None,
+               aggregate["mean_power_uw"],
+               tolerance=0.5 if paper_comparable else None,
                note="simulation includes slot quantisation and CAP "
-                    "deferrals the analytical model averages out")
+                    "deferrals the analytical model averages out"
+                    if paper_comparable else
+                    f"paper-incomparable workload ({traffic_model} traffic)")
     delivered_fraction = (aggregate["packets_delivered"]
                           / aggregate["packets_attempted"]
                           if aggregate["packets_attempted"] else 0.0)
@@ -107,7 +132,8 @@ def run_full_case_study(total_nodes: int = 1600,
                         "paper figure")
     report.add_note(
         f"backend={backend}, csma={csma_convention}, "
-        f"ble={battery_life_extension}, tx_policy={tx_policy}, seed={seed}")
+        f"ble={battery_life_extension}, tx_policy={tx_policy}, "
+        f"traffic={traffic_model}, seed={seed}")
 
     table = format_table(
         ["channel", "nodes", "attempted", "delivered", "failures",

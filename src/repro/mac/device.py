@@ -24,9 +24,12 @@ energy breakdown (cross-validating Figure 9) is computed from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps mac below network)
+    from repro.network.traffic import TrafficSource
 
 from repro.mac.commands import AssociationService, CommandFrame, CommandType
 from repro.mac.constants import MAC_2450MHZ, MacConstants
@@ -101,6 +104,14 @@ class Device:
         Callable returning ``True`` when the node has a packet to send this
         superframe (default: always — one packet per superframe, as in the
         paper's model).
+    traffic_source:
+        Stateful per-node packet feed
+        (:class:`repro.network.traffic.TrafficSource`).  When set, the node
+        polls it at every beacon: data sensed by the superframe boundary is
+        drainable in that superframe, and a superframe without a buffered
+        packet is slept through (beacon reception only).  ``None`` keeps
+        the saturated default.  ``packet_source`` — the legacy hook — is
+        consulted first; a packet is only drained when both agree.
     stagger_transactions:
         When ``True`` (default) the node starts its uplink transaction at a
         uniformly random offset within the contention access period instead
@@ -125,6 +136,7 @@ class Device:
                  constants: MacConstants = MAC_2450MHZ,
                  profile: RadioPowerProfile = CC2420_PROFILE,
                  packet_source: Optional[Callable[[], bool]] = None,
+                 traffic_source: Optional["TrafficSource"] = None,
                  stagger_transactions: bool = True,
                  enable_downlink: bool = True,
                  rng: Optional[np.random.Generator] = None):
@@ -141,6 +153,7 @@ class Device:
         self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
         self.profile = profile
         self.packet_source = packet_source or (lambda: True)
+        self.traffic_source = traffic_source
         self.stagger_transactions = stagger_transactions
         self.enable_downlink = enable_downlink
         self.downlink_payloads: List[bytes] = []
@@ -235,7 +248,7 @@ class Device:
                 yield from self._downlink_transaction(superframe)
 
             # ---- uplink transaction -------------------------------------------------
-            if self.packet_source():
+            if self._take_packet(superframe.beacon_time_s):
                 if self.stagger_transactions:
                     yield from self._stagger_delay(superframe, wake_lead)
                 yield from self._uplink_transaction(superframe)
@@ -243,6 +256,24 @@ class Device:
             # ---- shutdown until the next wake-up -------------------------------------
             next_beacon_s += beacon_interval
             self.radio.transition_to(RadioState.SHUTDOWN, phase=PHASE_SLEEP)
+
+    def _take_packet(self, beacon_time_s: float) -> bool:
+        """Whether a packet is sendable this superframe; drains it if so.
+
+        The traffic source is polled at the superframe boundary — data
+        sensed by the beacon instant is drainable in the superframe the
+        beacon starts.  The drained packet is committed to this superframe's
+        single transaction attempt (delivered, failed or deferred).
+        """
+        if not self.packet_source():
+            return False
+        if self.traffic_source is None:
+            return True
+        if not self.traffic_source.poll(beacon_time_s):
+            self.counters.increment("superframes_without_traffic")
+            return False
+        self.traffic_source.drain_packet()
+        return True
 
     def _downlink_transaction(self, superframe: Superframe):
         """Extract pending downlink data with a data-request command.

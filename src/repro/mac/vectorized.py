@@ -24,13 +24,17 @@ Equivalence contract
 For the same scenario and master seed the fast path consumes the *same
 named random streams in the same order* as the event-driven kernel
 (``device[<id>]`` for stagger and backoff draws, ``coordinator`` for packet
-corruption draws, see :class:`repro.sim.random.RandomStreams`) and applies
-the same timing rules (CCA sampled at the end of its slot, deferral checks
-against the contention access period, the ``run(until=horizon)`` event
-cut-off).  Delivery / failure / attempt counts are therefore *identical* to
-the event kernel's, and energies agree to float-summation-order precision.
-This is asserted by the cross-validation tests in
-``tests/mac/test_vectorized.py``.
+corruption draws, ``traffic[<id>]`` for per-node packet arrivals, see
+:class:`repro.sim.random.RandomStreams`) and applies the same timing rules
+(CCA sampled at the end of its slot, traffic polled at the superframe
+boundary, deferral checks against the contention access period, the
+``run(until=horizon)`` event cut-off).  Delivery / failure / attempt counts
+are therefore *identical* to the event kernel's, and energies agree to
+float-summation-order precision.  This is asserted by the cross-validation
+tests in ``tests/mac/test_vectorized.py``.  The contract covers the
+:class:`~repro.network.scenario.SimulationSummary`; the event kernel's
+per-device ``CounterMonitor`` diagnostics (``cca_performed``,
+``superframes_without_traffic``, ...) have no fast-path counterpart.
 
 Scope: the uplink transaction cycle of the paper's activation policy
 (Figure 5) with staggered transaction starts — the configuration
@@ -78,6 +82,12 @@ class VectorizedChannelSimulator:
         the radio's programmable steps exactly as the event kernel does.
     constants / payload_bytes / seed / csma_params / profile:
         As in :class:`repro.network.scenario.ChannelScenario`.
+    traffic:
+        Per-node packet process (:class:`repro.network.traffic.TrafficModel`)
+        polled at every beacon; ``None`` is the paper's saturated
+        assumption.  Sources are built from the same ``traffic[<id>]``
+        streams the event kernel uses, preserving the equivalence contract
+        for every model.
     """
 
     def __init__(self, nodes: Sequence, config: SuperframeConfig,
@@ -85,11 +95,14 @@ class VectorizedChannelSimulator:
                  constants: MacConstants = MAC_2450MHZ,
                  payload_bytes: int = 120, seed: int = 0,
                  csma_params: Optional[CsmaParameters] = None,
-                 profile: RadioPowerProfile = CC2420_PROFILE):
+                 profile: RadioPowerProfile = CC2420_PROFILE,
+                 traffic=None):
         if not nodes:
             raise ValueError("A channel simulation needs at least one node")
         if len(tx_levels_dbm) != len(nodes):
             raise ValueError("One transmit level per node is required")
+        if traffic is not None:
+            traffic.require_payload(payload_bytes, "the slot-level kernel")
         self.nodes = list(nodes)
         self.config = config
         self.constants = constants
@@ -98,6 +111,7 @@ class VectorizedChannelSimulator:
         self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
         self.profile = profile
         self.tx_levels_dbm = [float(level) for level in tx_levels_dbm]
+        self.traffic = traffic
 
     # -- derived scenario constants --------------------------------------------------
     def _beacon_airtime_s(self) -> float:
@@ -152,6 +166,14 @@ class VectorizedChannelSimulator:
         coordinator_rng = streams.get("coordinator")
         generators = [streams.get(f"device[{node.node_id}]")
                       for node in self.nodes]
+
+        # ---- per-node traffic feeds (identical streams to the event kernel) ----
+        from repro.network.traffic import SaturatedTraffic, make_node_sources
+        traffic_model = self.traffic
+        if traffic_model is None:
+            traffic_model = SaturatedTraffic(payload_bytes=self.payload_bytes)
+        sources = make_node_sources(
+            traffic_model, [node.node_id for node in self.nodes], streams)
 
         # ---- per-device link/corruption constants -----------------------------
         programmed_dbm = [profile.tx_level(level).level_dbm
@@ -266,6 +288,14 @@ class VectorizedChannelSimulator:
                 arrival = resume + beacon_air
                 if arrival > horizon:
                     return
+                # Poll the traffic feed at the superframe boundary, exactly
+                # where the event kernel does: no buffered packet means the
+                # device sleeps this superframe out after the beacon.
+                if not sources[index].poll(beacon_at):
+                    now = arrival
+                    next_beacon[index] += interval
+                    continue
+                sources[index].drain_packet()
                 cap_end = beacon_at + sf_duration
                 latest_start = cap_end - margin
                 start = arrival

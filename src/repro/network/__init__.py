@@ -8,7 +8,11 @@ analytical model) or into analytical per-channel scenarios.
 """
 
 from repro.network.topology import NodePlacement, StarTopology, uniform_disc_placement
-from repro.network.traffic import BufferedTrafficSource, PeriodicSensingTraffic
+from repro.network.traffic import (BufferedTrafficSource, BurstyAlarmTraffic,
+                                   MixedPopulation, PeriodicSensingTraffic,
+                                   PoissonTraffic, SaturatedTraffic,
+                                   TrafficModel, TrafficSource,
+                                   build_traffic_model)
 from repro.network.channel_allocation import ChannelAllocator, round_robin_allocation
 from repro.network.node import SensorNode
 from repro.network.scenario import DenseNetworkScenario, ChannelScenario, SimulationSummary
@@ -22,6 +26,13 @@ __all__ = [
     "uniform_disc_placement",
     "PeriodicSensingTraffic",
     "BufferedTrafficSource",
+    "TrafficModel",
+    "TrafficSource",
+    "SaturatedTraffic",
+    "PoissonTraffic",
+    "BurstyAlarmTraffic",
+    "MixedPopulation",
+    "build_traffic_model",
     "ChannelAllocator",
     "round_robin_allocation",
     "SensorNode",

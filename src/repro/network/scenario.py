@@ -33,7 +33,9 @@ from repro.mac.medium import Medium
 from repro.mac.superframe import SuperframeConfig
 from repro.network.channel_allocation import ChannelAllocator
 from repro.network.node import SensorNode
-from repro.network.traffic import PeriodicSensingTraffic
+from repro.network.traffic import (PeriodicSensingTraffic, SaturatedTraffic,
+                                   TrafficModel, TrafficSource,
+                                   make_node_sources)
 from repro.network.topology import StarTopology
 from repro.phy.bands import Band, channels_in_band
 from repro.phy.error_model import EmpiricalBerModel, ErrorModel
@@ -93,6 +95,11 @@ class ChannelScenario:
         unassigned node an error instead of silently transmitting at an
         arbitrary level — pass the scenario's configured level explicitly
         (:class:`DenseNetworkScenario` does).
+    traffic:
+        Per-node packet process (:class:`repro.network.traffic.TrafficModel`)
+        polled at every beacon by both kernels.  ``None`` (the default) is
+        the paper's saturated assumption — one packet ready at every
+        beacon.  The model's payload must equal ``payload_bytes``.
     """
 
     #: Simulation backends accepted by :meth:`run`.
@@ -102,9 +109,12 @@ class ChannelScenario:
                  constants: MacConstants = MAC_2450MHZ,
                  payload_bytes: int = 120, seed: int = 0,
                  csma_params: Optional[CsmaParameters] = None,
-                 default_tx_power_dbm: Optional[float] = None):
+                 default_tx_power_dbm: Optional[float] = None,
+                 traffic: Optional[TrafficModel] = None):
         if not nodes:
             raise ValueError("A channel scenario needs at least one node")
+        if traffic is not None:
+            traffic.require_payload(payload_bytes, "the channel")
         self.nodes = list(nodes)
         self.config = config
         self.constants = constants
@@ -112,6 +122,7 @@ class ChannelScenario:
         self.seed = seed
         self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
         self.default_tx_power_dbm = default_tx_power_dbm
+        self.traffic = traffic
 
     def resolved_tx_levels_dbm(self) -> List[float]:
         """The transmit level each node will use, aligned with ``nodes``.
@@ -137,6 +148,23 @@ class ChannelScenario:
             levels.append(float(level))
         return levels
 
+    def traffic_model(self) -> TrafficModel:
+        """The packet process offered to the MAC (saturated by default)."""
+        if self.traffic is not None:
+            return self.traffic
+        return SaturatedTraffic(payload_bytes=self.payload_bytes)
+
+    def build_traffic_sources(self,
+                              streams: RandomStreams) -> List[TrafficSource]:
+        """One per-node feed per node, aligned with ``nodes``.
+
+        Delegates to :func:`repro.network.traffic.make_node_sources`, the
+        one place both kernels' stream naming is defined.
+        """
+        return make_node_sources(self.traffic_model(),
+                                 [node.node_id for node in self.nodes],
+                                 streams)
+
     def run(self, superframes: int = 10,
             backend: str = "event") -> SimulationSummary:
         """Simulate ``superframes`` beacon intervals and summarise the outcome.
@@ -157,9 +185,10 @@ class ChannelScenario:
                 nodes=self.nodes, config=self.config,
                 tx_levels_dbm=tx_levels, constants=self.constants,
                 payload_bytes=self.payload_bytes, seed=self.seed,
-                csma_params=self.csma_params)
+                csma_params=self.csma_params, traffic=self.traffic)
             return simulator.run(superframes=superframes)
         streams = RandomStreams(self.seed)
+        sources = self.build_traffic_sources(streams)
         env = Environment()
         channel = self.nodes[0].channel
         medium = Medium(env, channel=channel)
@@ -170,7 +199,7 @@ class ChannelScenario:
             links=links, rng=streams.get("coordinator"))
 
         devices: List[Device] = []
-        for node, tx_level in zip(self.nodes, tx_levels):
+        for node, tx_level, source in zip(self.nodes, tx_levels, sources):
             device = Device(
                 env=env,
                 node_id=node.node_id,
@@ -181,6 +210,7 @@ class ChannelScenario:
                 tx_power_dbm=tx_level,
                 csma_params=self.csma_params,
                 constants=self.constants,
+                traffic_source=source,
                 rng=streams.get(f"device[{node.node_id}]"),
             )
             devices.append(device)
@@ -241,6 +271,11 @@ class DenseNetworkScenario:
         Transmit level for nodes link adaptation has not (yet) assigned a
         per-node power to.  The paper's case study guarantees every node is
         reachable at the maximum 0 dBm, which is therefore the default.
+    traffic_model:
+        Per-node packet process for the packet-level simulations
+        (:class:`repro.network.traffic.TrafficModel`); ``None`` keeps the
+        paper's saturated assumption.  Independent of ``traffic``, which is
+        the periodic sensing *arithmetic* the analytical view consumes.
     """
 
     total_nodes: int = 1600
@@ -253,6 +288,7 @@ class DenseNetworkScenario:
     seed: int = 0
     error_model: ErrorModel = field(default_factory=EmpiricalBerModel)
     tx_power_dbm: float = 0.0
+    traffic_model: Optional[TrafficModel] = None
 
     def __post_init__(self):
         if self.total_nodes < 1:
@@ -345,4 +381,5 @@ class DenseNetworkScenario:
             seed=self.seed if seed is None else seed,
             csma_params=csma_params,
             default_tx_power_dbm=self.tx_power_dbm,
+            traffic=self.traffic_model,
         )

@@ -75,7 +75,8 @@ def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
         payload_bytes=spec.payload_bytes,
         seed=task.sim_seed,
         csma_params=spec.csma_parameters(),
-        default_tx_power_dbm=spec.tx_power_dbm)
+        default_tx_power_dbm=spec.tx_power_dbm,
+        traffic=spec.traffic)
     backend = task.backend or spec.backend
     summary = channel_scenario.run(superframes=task.superframes,
                                    backend=backend)

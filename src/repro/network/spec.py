@@ -29,7 +29,8 @@ import numpy as np
 from repro.mac.constants import MAC_2450MHZ, MacConstants
 from repro.mac.csma import CsmaParameters
 from repro.mac.superframe import SuperframeConfig
-from repro.network.traffic import PeriodicSensingTraffic
+from repro.network.traffic import (PeriodicSensingTraffic, SaturatedTraffic,
+                                   TrafficModel)
 from repro.phy.bands import Band, CHANNEL_PAGES, channels_in_band
 from repro.radio.power_profile import CC2420_PROFILE, RadioPowerProfile
 
@@ -61,6 +62,12 @@ class ScenarioSpec:
         BO = SO (no inactive portion), the paper's case-study setting.
     payload_bytes / sample_bytes / sampling_interval_s:
         Traffic shape: payload assembled from periodic sensor readings.
+    traffic:
+        Per-node packet process offered to the MAC
+        (:class:`repro.network.traffic.TrafficModel`).  ``None`` — the
+        default — is the paper's saturated assumption: one packet ready at
+        every beacon.  Any configured model must carry the spec's
+        ``payload_bytes``.
     path_loss_low_db / path_loss_high_db:
         Uniform path-loss population bounds.
     tx_policy / tx_power_dbm / target_packet_error:
@@ -89,6 +96,7 @@ class ScenarioSpec:
     payload_bytes: int = 120
     sample_bytes: int = 1
     sampling_interval_s: float = 8e-3
+    traffic: Optional[TrafficModel] = None
     path_loss_low_db: float = 55.0
     path_loss_high_db: float = 95.0
     tx_policy: str = TX_POLICY_ADAPTIVE
@@ -121,6 +129,8 @@ class ScenarioSpec:
                 f"{self.band.value}, got {self.num_channels}")
         if self.path_loss_high_db < self.path_loss_low_db:
             raise ValueError("path_loss_high_db must be >= path_loss_low_db")
+        if self.traffic is not None:
+            self.traffic.require_payload(self.payload_bytes, "the spec")
 
     # -- derived structure --------------------------------------------------------
     @property
@@ -142,12 +152,22 @@ class ScenarioSpec:
             return MAC_2450MHZ
         return MacConstants(timing=CHANNEL_PAGES[self.band].timing)
 
-    def traffic(self) -> PeriodicSensingTraffic:
-        """The per-node sensing traffic model."""
+    def sensing_traffic(self) -> PeriodicSensingTraffic:
+        """The periodic sensing arithmetic (data rate, load, buffering)."""
         return PeriodicSensingTraffic(
             sample_bytes=self.sample_bytes,
             sampling_interval_s=self.sampling_interval_s,
             payload_bytes=self.payload_bytes)
+
+    def traffic_model(self) -> TrafficModel:
+        """The packet process the MAC kernels consume.
+
+        The configured ``traffic`` field, or the paper's saturated
+        assumption (one packet ready at every beacon) when none is set.
+        """
+        if self.traffic is not None:
+            return self.traffic
+        return SaturatedTraffic(payload_bytes=self.payload_bytes)
 
     def csma_parameters(self) -> CsmaParameters:
         """Slotted CSMA/CA parameters implementing the spec's convention."""
@@ -183,12 +203,13 @@ class ScenarioSpec:
         return DenseNetworkScenario(
             total_nodes=self.total_nodes,
             channels=self.channels,
-            traffic=self.traffic(),
+            traffic=self.sensing_traffic(),
             path_loss_low_db=self.path_loss_low_db,
             path_loss_high_db=self.path_loss_high_db,
             beacon_order=self.beacon_order,
             seed=placement_seed,
             tx_power_dbm=self.tx_power_dbm,
+            traffic_model=self.traffic,
         )
 
 

@@ -27,6 +27,7 @@ from repro.contention.tables import ContentionTable, build_contention_table
 from repro.core.energy_model import EnergyModel
 from repro.experiments.common import TABLE_LOADS, TABLE_SIZES
 from repro.mac.frames import total_packet_overhead_bytes
+from repro.network.traffic import TRAFFIC_MODEL_KINDS
 from repro.runner.cache import code_version
 from repro.runner.params import ParamSpec
 from repro.runner.registry import ExperimentRegistry, ExperimentSpec, RunContext
@@ -311,6 +312,9 @@ def run_case_study_full(params: Mapping[str, Any],
         battery_life_extension=params["battery_life_extension"],
         csma_convention=params["csma_convention"],
         tx_policy=params["tx_policy"],
+        traffic_model=params["traffic_model"],
+        traffic_rate_scale=params["traffic_rate_scale"],
+        traffic_mix=params["traffic_mix"],
         seed=context.seed,
         executor=context.executor)
     return {"rows": jsonify(result.channel_rows),
@@ -526,6 +530,21 @@ def build_default_registry() -> ExperimentRegistry:
                       choices=("adaptive", "fixed"),
                       doc="transmit power policy: channel inversion or "
                           "fixed 0 dBm"),
+            ParamSpec("traffic_model", "str", "saturated",
+                      choices=TRAFFIC_MODEL_KINDS,
+                      doc="per-node packet process: saturated (paper's "
+                          "one packet per superframe), periodic buffered "
+                          "sensing, poisson, bursty alarms, or a mixed "
+                          "population"),
+            ParamSpec("traffic_rate_scale", "float", 1.0, minimum=0.01,
+                      maximum=100.0,
+                      doc="mean packet rate of the stochastic traffic "
+                          "models relative to the paper's periodic "
+                          "baseline (ignored by 'saturated')"),
+            ParamSpec("traffic_mix", "float", 0.25, minimum=0.0, maximum=1.0,
+                      doc="bursty-alarm node fraction of the 'mixed' "
+                          "traffic population (the rest sense "
+                          "periodically)"),
         ],
         output_names=("channel", "nodes", "packets_attempted",
                       "packets_delivered", "channel_access_failures",

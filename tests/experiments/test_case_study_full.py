@@ -97,3 +97,62 @@ class TestThroughEngine:
         replayed = json.loads(json.dumps(run.payload))
         assert replayed["rows"] == run.payload["rows"]
         assert replayed["aggregate"] == run.payload["aggregate"]
+
+
+class TestTrafficParameters:
+    """The heterogeneous-traffic axis of the full-scale experiment."""
+
+    def test_default_traffic_is_the_saturated_paper_assumption(self):
+        from repro.runner.registry import default_registry
+
+        schema = default_registry().get("case_study_full").schema
+        spec = schema["traffic_model"]
+        assert spec.default == "saturated"
+        assert "poisson" in spec.choices and "mixed" in spec.choices
+
+    def test_sparse_traffic_attempts_fewer_packets(self):
+        saturated = run_experiment("case_study_full", params=TINY,
+                                   cache=False, seed=7)
+        sparse = run_experiment("case_study_full",
+                                params=dict(TINY, traffic_model="poisson",
+                                            traffic_rate_scale=0.5),
+                                cache=False, seed=7)
+        assert 0 < sparse.payload["aggregate"]["packets_attempted"] < \
+            saturated.payload["aggregate"]["packets_attempted"]
+
+    def test_traffic_params_are_cache_key_relevant(self):
+        base = run_experiment("case_study_full", params=TINY, cache=False,
+                              seed=7)
+        bursty = run_experiment("case_study_full",
+                                params=dict(TINY, traffic_model="bursty"),
+                                cache=False, seed=7)
+        assert bursty.cache_key != base.cache_key
+
+    def test_unknown_traffic_model_rejected_with_choices(self):
+        with pytest.raises(Exception, match="traffic_model"):
+            run_experiment("case_study_full",
+                           params=dict(TINY, traffic_model="fractal"),
+                           cache=False, seed=7)
+
+    @pytest.mark.parametrize("model", ["periodic", "poisson", "bursty",
+                                       "mixed"])
+    def test_serial_and_parallel_rows_identical(self, model):
+        """The PR-1 executor contract extended to every traffic model:
+        per-channel spawned seeds make --jobs N runs bit-identical."""
+        params = dict(TINY, traffic_model=model)
+        serial = run_experiment("case_study_full", params=params,
+                                cache=False, seed=7)
+        parallel = run_experiment("case_study_full", params=params,
+                                  cache=False, jobs=2, seed=7)
+        assert parallel.rows == serial.rows
+
+    def test_non_saturated_report_carries_no_paper_band(self):
+        """Paper comparisons assume the saturated workload; other traffic
+        reports the figures without a tolerance verdict."""
+        run = run_experiment("case_study_full",
+                             params=dict(TINY, traffic_model="poisson"),
+                             cache=False, seed=7)
+        rows = {row["quantity"]: row for row in run.payload["report"]["rows"]}
+        failure = rows["transaction failure probability"]
+        assert failure["paper_value"] is None
+        assert failure["within_tolerance"] is None

@@ -19,6 +19,7 @@ from repro.mac.superframe import SuperframeConfig
 from repro.mac.vectorized import VectorizedChannelSimulator
 from repro.network.node import SensorNode
 from repro.network.scenario import ChannelScenario, DenseNetworkScenario
+from repro.network.traffic import build_traffic_model
 
 
 def run_both(channel_scenario, superframes):
@@ -108,6 +109,62 @@ class TestCrossValidation:
         config = SuperframeConfig(beacon_order=4, superframe_order=2)
         channel = ChannelScenario(nodes, config, payload_bytes=100, seed=8)
         assert_summaries_match(*run_both(channel, superframes=5))
+
+
+class TestTrafficModelCrossValidation:
+    """Same-seed kernel agreement for every registered traffic model.
+
+    The equivalence contract must survive the traffic axis: both kernels
+    poll each node's ``traffic[<id>]`` stream at identical beacon instants,
+    so delivery / failure / attempt counts stay *identical* and energies
+    agree to float precision for every model x superframe structure.
+    """
+
+    MODELS = ("saturated", "periodic", "poisson", "bursty", "mixed")
+    #: BO/SO defaults (full-active) and a duty-cycled CAP (SO < BO).
+    STRUCTURES = (
+        pytest.param(SuperframeConfig(beacon_order=3, superframe_order=3),
+                     id="full-active"),
+        pytest.param(SuperframeConfig(beacon_order=4, superframe_order=2),
+                     id="duty-cycled"),
+    )
+
+    @pytest.mark.parametrize("config", STRUCTURES)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_kernels_agree_for_every_model(self, model, config):
+        traffic = build_traffic_model(model, payload_bytes=100)
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=70.0,
+                            tx_power_dbm=0.0) for i in range(1, 11)]
+        channel = ChannelScenario(nodes, config, payload_bytes=100, seed=5,
+                                  traffic=traffic)
+        event, fast = run_both(channel, superframes=8)
+        assert_summaries_match(event, fast)
+
+    def test_stochastic_models_exercise_idle_superframes(self):
+        """The poisson regime must actually skip superframes (otherwise the
+        matrix above degenerates into five copies of the saturated case)."""
+        traffic = build_traffic_model("poisson", payload_bytes=100,
+                                      rate_scale=0.5)
+        nodes = [SensorNode(node_id=i, channel=11, path_loss_db=70.0,
+                            tx_power_dbm=0.0) for i in range(1, 9)]
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        channel = ChannelScenario(nodes, config, payload_bytes=100, seed=5,
+                                  traffic=traffic)
+        event, fast = run_both(channel, superframes=8)
+        assert event.packets_attempted < 8 * len(nodes)
+        assert event.packets_attempted > 0
+        assert_summaries_match(event, fast)
+
+    def test_scenario_spec_traffic_threads_through_both_kernels(self):
+        """Traffic configured on a ScenarioSpec reaches both backends."""
+        from repro.network.spec import ScenarioSpec
+
+        traffic = build_traffic_model("mixed", payload_bytes=120)
+        spec = ScenarioSpec(total_nodes=16, num_channels=2, beacon_order=3,
+                            traffic=traffic, tx_policy="fixed")
+        scenario = spec.build_seeded(2)
+        channel = scenario.channel_scenario(spec.channels[0], seed=9)
+        assert_summaries_match(*run_both(channel, superframes=6))
 
 
 class TestVectorizedProperties:

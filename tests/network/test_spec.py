@@ -70,6 +70,69 @@ class TestScenarioSpec:
         assert pickle.loads(pickle.dumps(spec)) == spec
 
 
+class TestScenarioSpecTraffic:
+    def test_default_is_the_saturated_assumption(self):
+        spec = ScenarioSpec()
+        assert spec.traffic is None
+        model = spec.traffic_model()
+        assert model.kind == "saturated"
+        assert model.payload_bytes == spec.payload_bytes
+
+    def test_configured_model_is_resolved_verbatim(self):
+        from repro.network.traffic import PoissonTraffic
+
+        traffic = PoissonTraffic(mean_interval_s=2.0, payload_bytes=120)
+        spec = ScenarioSpec(traffic=traffic)
+        assert spec.traffic_model() is traffic
+
+    def test_payload_mismatch_rejected_at_build_time(self):
+        from repro.network.traffic import PoissonTraffic
+
+        with pytest.raises(ValueError, match="payload"):
+            ScenarioSpec(payload_bytes=120,
+                         traffic=PoissonTraffic(payload_bytes=60))
+
+    def test_sensing_traffic_carries_the_spec_shape(self):
+        spec = ScenarioSpec(payload_bytes=60, sample_bytes=2,
+                            sampling_interval_s=4e-3)
+        sensing = spec.sensing_traffic()
+        assert sensing.payload_bytes == 60
+        assert sensing.sample_bytes == 2
+        assert sensing.packet_period_s == pytest.approx(0.12)
+
+    def test_traffic_reaches_the_built_scenario(self):
+        from repro.network.traffic import PoissonTraffic
+
+        traffic = PoissonTraffic(mean_interval_s=2.0, payload_bytes=120)
+        scenario = ScenarioSpec(total_nodes=20, num_channels=2,
+                                traffic=traffic).build()
+        assert scenario.traffic_model is traffic
+
+    def test_traffic_spec_is_picklable(self):
+        import pickle
+
+        from repro.network.traffic import build_traffic_model
+
+        spec = ScenarioSpec(traffic=build_traffic_model("mixed"))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_traffic_changes_simulated_load(self):
+        """A sparse poisson workload must attempt fewer packets than the
+        saturated default on the same scaled-down network."""
+        from repro.network.traffic import PoissonTraffic
+
+        base = dict(total_nodes=16, num_channels=2, beacon_order=3,
+                    tx_policy="fixed", superframes_hint=6)
+        saturated = ScenarioSpec(**base)
+        sparse = ScenarioSpec(
+            traffic=PoissonTraffic(mean_interval_s=1.0), **base)
+        rows_sat = simulate_network(saturated, seed=3)
+        rows_sparse = simulate_network(sparse, seed=3)
+        attempted_sat = sum(r["packets_attempted"] for r in rows_sat)
+        attempted_sparse = sum(r["packets_attempted"] for r in rows_sparse)
+        assert 0 < attempted_sparse < attempted_sat
+
+
 class TestAdaptiveTxLevels:
     def test_levels_monotone_in_path_loss(self):
         levels = adaptive_tx_levels([55.0, 70.0, 85.0, 95.0], 133)

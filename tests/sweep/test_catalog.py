@@ -11,7 +11,8 @@ from repro.sweep.driver import expand_points
 
 class TestCatalogue:
     def test_headline_sweeps_registered(self):
-        assert sweep_names() == ("duty_cycle", "node_density", "tx_policy")
+        assert sweep_names() == ("duty_cycle", "node_density", "traffic_mix",
+                                 "tx_policy")
 
     def test_definitions_iterate_in_name_order(self):
         names = [definition.name for definition in iter_definitions()]
@@ -64,3 +65,18 @@ class TestCatalogue:
     def test_tx_policy_compares_adaptive_and_fixed(self):
         spec = get_sweep("tx_policy")
         assert set(spec.axis_values()["tx_policy"]) == {"adaptive", "fixed"}
+
+    def test_traffic_mix_covers_every_registered_model(self):
+        from repro.network.traffic import TRAFFIC_MODEL_KINDS
+
+        quick = get_sweep("traffic_mix", quick=True)
+        assert tuple(quick.axis_values()["traffic_model"]) == \
+            TRAFFIC_MODEL_KINDS
+        # The full variant crosses the offered-load scale with the models
+        # it affects; 'saturated' ignores traffic_rate_scale, so including
+        # it would recompute identical full-scale points.
+        spec = get_sweep("traffic_mix")
+        assert "saturated" not in spec.axis_values()["traffic_model"]
+        assert set(spec.axis_values()["traffic_model"]) == \
+            set(TRAFFIC_MODEL_KINDS) - {"saturated"}
+        assert 1.0 in spec.axis_values()["traffic_rate_scale"]

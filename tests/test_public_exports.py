@@ -37,6 +37,9 @@ PUBLIC_SURFACE = {
                          "ClosedFormContentionModel"],
     "repro.network": ["StarTopology", "uniform_disc_placement",
                       "PeriodicSensingTraffic", "BufferedTrafficSource",
+                      "TrafficModel", "TrafficSource", "SaturatedTraffic",
+                      "PoissonTraffic", "BurstyAlarmTraffic",
+                      "MixedPopulation", "build_traffic_model",
                       "ChannelAllocator", "SensorNode",
                       "DenseNetworkScenario", "ChannelScenario"],
     "repro.core": ["EnergyModel", "ModelConfig", "NodeEnergyBudget",
