@@ -4,10 +4,17 @@ The benches regenerate every table and figure of the paper.  The Monte-Carlo
 contention characterisation and the energy model are built once per session
 (they are inputs to the benchmarks, not the thing being measured).
 
-Setting the ``REPRO_BENCH_QUICK`` environment variable shrinks the shared
-characterisation (fewer Monte-Carlo windows) so CI can smoke-run the whole
-benchmark suite in a couple of minutes; the grid axes stay identical, only
-the per-point statistics get noisier.
+Setting the ``REPRO_BENCH_QUICK`` environment variable to any *non-empty*
+string (``REPRO_BENCH_QUICK=1``; note that even ``=0`` enables it — the
+switch tests presence, not value) shrinks the shared characterisation
+(fewer Monte-Carlo windows) so CI can smoke-run the whole benchmark suite
+in a couple of minutes; the grid axes stay identical, only the per-point
+statistics get noisier.
+
+This switch is independent of the *perf trajectory* (``BENCH_*.json``, see
+:mod:`benchmarks.trajectory`): these pytest benches check figure fidelity,
+while ``python -m repro bench [--quick]`` times the simulation kernels and
+records the speedups CI gates on.
 """
 
 from __future__ import annotations

@@ -1,0 +1,32 @@
+"""Perf-trajectory helper colocated with the BENCH_*.json baselines.
+
+The implementation lives in :mod:`repro.bench.trajectory` (schema, record
+IO, the CI comparison gate) and :mod:`repro.bench.cases` (the tracked
+workloads); this module re-exports it next to the committed baselines so
+benchmark tooling can ``from benchmarks.trajectory import ...`` without
+caring about the package layout.  Regenerate the baselines in this
+directory with ``python -m repro bench``; CI smoke-checks them with
+``python -m repro bench --quick --check``.
+"""
+
+from repro.bench.cases import BENCH_CASES, run_bench_case
+from repro.bench.trajectory import (DEFAULT_TOLERANCE, SCHEMA_VERSION,
+                                    bench_path, build_record,
+                                    compare_records, git_sha,
+                                    machine_fingerprint, read_record,
+                                    timed_median, write_record)
+
+__all__ = [
+    "BENCH_CASES",
+    "DEFAULT_TOLERANCE",
+    "SCHEMA_VERSION",
+    "bench_path",
+    "build_record",
+    "compare_records",
+    "git_sha",
+    "machine_fingerprint",
+    "read_record",
+    "run_bench_case",
+    "timed_median",
+    "write_record",
+]

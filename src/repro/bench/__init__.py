@@ -1,0 +1,30 @@
+"""Tracked performance trajectory of the simulation kernels.
+
+The benchmark suite under ``benchmarks/`` asserts *relative* perf floors in
+pytest; this package records the *absolute* history: each tracked
+experiment owns a committed ``BENCH_<experiment>.json`` baseline (median
+wall-times per kernel, kernel-vs-kernel speedups, the git SHA and a machine
+fingerprint), regenerated with ``python -m repro bench`` and guarded in CI
+by a quick-mode run compared against the committed speedups with a 2x
+tolerance.  See :mod:`repro.bench.trajectory` for the schema and
+:mod:`repro.bench.cases` for the tracked workloads.
+"""
+
+from repro.bench.trajectory import (SCHEMA_VERSION, bench_path, build_record,
+                                    compare_records, git_sha,
+                                    machine_fingerprint, read_record,
+                                    write_record)
+from repro.bench.cases import BENCH_CASES, run_bench_case
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BENCH_CASES",
+    "bench_path",
+    "build_record",
+    "compare_records",
+    "git_sha",
+    "machine_fingerprint",
+    "read_record",
+    "run_bench_case",
+    "write_record",
+]

@@ -1,0 +1,136 @@
+"""The tracked benchmark workloads behind ``python -m repro bench``.
+
+Two workloads cover the two levels the kernels are consumed at:
+
+``vectorized_channel``
+    One dense channel (the paper's 100-node population), event kernel vs
+    the vectorized fast path — the single-channel speedup the benchmark
+    suite has asserted since the fast path landed.
+``case_study_full``
+    The full Section 5 fan-out (16 channels x 100 nodes), per-channel
+    vectorized vs the batched lockstep backend, plus the retained
+    pre-batching reference kernel (``vectorized_reference``, forced via
+    :data:`repro.mac.vectorized.COMPAT_ENV`) so the trajectory keeps the
+    baseline the batched kernel was measured against.
+
+Each case returns a schema-ordered record (:mod:`repro.bench.trajectory`);
+``quick`` mode shrinks the population and horizon to CI-smoke size while
+keeping every speedup ratio meaningful.  The slow reference kernels run
+once per record in full mode (their medians move little and dominate wall
+time); the fast kernels always get the full repeat count.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict
+
+from repro.bench.trajectory import build_record, timed_median
+
+#: Master seed of every benchmark run — timings must not wander with the
+#: workload's random draws.
+BENCH_SEED = 2005
+
+
+def _timed_compat(fn: Callable[[], Any], repeats: int):
+    """Time ``fn`` with the pre-batching reference kernel forced."""
+    from repro.mac.vectorized import COMPAT_ENV
+
+    previous = os.environ.get(COMPAT_ENV)
+    os.environ[COMPAT_ENV] = "1"
+    try:
+        return timed_median(fn, repeats)
+    finally:
+        if previous is None:
+            os.environ.pop(COMPAT_ENV, None)
+        else:  # pragma: no cover - depends on the caller's environment
+            os.environ[COMPAT_ENV] = previous
+
+
+def bench_vectorized_channel(quick: bool = False,
+                             repeats: int = 3) -> Dict[str, Any]:
+    """Single dense channel: event kernel vs the vectorized fast path."""
+    from repro.network.scenario import DenseNetworkScenario
+
+    max_nodes = 20 if quick else None
+    superframes = 4 if quick else 10
+    scenario = DenseNetworkScenario(seed=1)
+    channel = scenario.channel_scenario(11, max_nodes=max_nodes,
+                                        seed=BENCH_SEED)
+
+    def run(backend: str):
+        return channel.run(superframes=superframes, backend=backend)
+
+    timings: Dict[str, Dict[str, Any]] = {}
+    for kernel in ("event", "vectorized"):
+        median_s, runs = timed_median(lambda: run(kernel), repeats)
+        timings[kernel] = {"median_s": median_s, "runs": runs}
+    speedup = {
+        "vectorized_vs_event": (timings["event"]["median_s"]
+                                / timings["vectorized"]["median_s"]),
+    }
+    return build_record(
+        experiment="vectorized_channel",
+        mode="quick" if quick else "full",
+        params={"nodes": len(channel.nodes), "superframes": superframes,
+                "seed": BENCH_SEED},
+        timings_s=timings, speedup=speedup)
+
+
+def bench_case_study_full(quick: bool = False,
+                          repeats: int = 3) -> Dict[str, Any]:
+    """Full Section 5 fan-out: batched vs per-channel vs reference kernels."""
+    from repro.experiments.case_study_full import run_full_case_study
+
+    superframes = 5 if quick else 50
+    cap = 25 if quick else None
+
+    def run(backend: str):
+        return run_full_case_study(superframes=superframes, backend=backend,
+                                   nodes_per_channel_cap=cap,
+                                   seed=BENCH_SEED)
+
+    # The slow per-channel baselines dominate a full-mode record's wall
+    # time; one run each keeps regeneration cheap without moving the
+    # ratios materially.
+    slow_repeats = repeats if quick else 1
+    timings: Dict[str, Dict[str, Any]] = {}
+    for kernel, timer, count in (
+            ("event", timed_median, slow_repeats),
+            ("vectorized_reference", _timed_compat, slow_repeats),
+            ("vectorized", timed_median, repeats),
+            ("batched", timed_median, repeats)):
+        median_s, runs = timer(lambda: run(kernel.split("_")[0]), count)
+        timings[kernel] = {"median_s": median_s, "runs": runs}
+    batched = timings["batched"]["median_s"]
+    speedup = {
+        "batched_vs_reference": (timings["vectorized_reference"]["median_s"]
+                                 / batched),
+        "batched_vs_vectorized": timings["vectorized"]["median_s"] / batched,
+        "batched_vs_event": timings["event"]["median_s"] / batched,
+    }
+    return build_record(
+        experiment="case_study_full",
+        mode="quick" if quick else "full",
+        params={"total_nodes": 1600, "superframes": superframes,
+                "nodes_per_channel_cap": cap, "seed": BENCH_SEED},
+        timings_s=timings, speedup=speedup)
+
+
+#: Registry of benchmarkable experiments, in trajectory order.
+BENCH_CASES: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "vectorized_channel": bench_vectorized_channel,
+    "case_study_full": bench_case_study_full,
+}
+
+
+def run_bench_case(name: str, quick: bool = False,
+                   repeats: int = 3) -> Dict[str, Any]:
+    """Run one registered case and return its record."""
+    try:
+        case = BENCH_CASES[name]
+    except KeyError:
+        raise ValueError(
+            f"Unknown bench case {name!r}; "
+            f"choose from {', '.join(sorted(BENCH_CASES))}") from None
+    return case(quick=quick, repeats=repeats)

@@ -2,10 +2,13 @@
 
 The analytical case study (``repro.experiments.case_study``) evaluates the
 paper's 1600-node network through the Section 4 equations; this experiment
-*simulates* it: all sixteen 2450 MHz channels, 100 nodes each, channel by
-channel on the vectorized slot-level backend (:mod:`repro.mac.vectorized`),
-with channel-inversion link adaptation and per-channel seeds spawned from
-the master seed so the fan-out is reproducible at any ``--jobs`` level.
+*simulates* it: all sixteen 2450 MHz channels, 100 nodes each, on the
+batched lockstep backend (:mod:`repro.mac.vectorized`) by default — one
+kernel call spanning every (channel, replication) lane — with
+channel-inversion link adaptation and per-channel seeds spawned from the
+master seed.  The per-channel ``vectorized`` and ``event`` backends remain
+selectable and bit-identical in counts; on those, the fan-out is
+reproducible at any ``--jobs`` level.
 
 The report cross-checks the simulated network against the paper's headline
 numbers where they are comparable — the ~16 % transaction failure
@@ -49,13 +52,14 @@ def run_full_case_study(total_nodes: int = 1600,
                         superframe_order: Optional[int] = None,
                         payload_bytes: int = 120,
                         nodes_per_channel_cap: Optional[int] = None,
-                        backend: str = "vectorized",
+                        backend: str = "batched",
                         battery_life_extension: bool = False,
                         csma_convention: str = "paper",
                         tx_policy: str = "adaptive",
                         traffic_model: str = "saturated",
                         traffic_rate_scale: float = 1.0,
                         traffic_mix: float = 0.25,
+                        replications: int = 1,
                         seed: Optional[int] = 0,
                         executor=None) -> FullCaseStudyResult:
     """Simulate the dense network at full scale and report the trends.
@@ -91,7 +95,8 @@ def run_full_case_study(total_nodes: int = 1600,
     )
     rows = simulate_network(spec, superframes=superframes, seed=seed,
                             executor=executor,
-                            max_nodes_per_channel=nodes_per_channel_cap)
+                            max_nodes_per_channel=nodes_per_channel_cap,
+                            replications=replications)
     aggregate = aggregate_channel_rows(rows)
 
     report = ExperimentReport(
@@ -133,7 +138,8 @@ def run_full_case_study(total_nodes: int = 1600,
     report.add_note(
         f"backend={backend}, csma={csma_convention}, "
         f"ble={battery_life_extension}, tx_policy={tx_policy}, "
-        f"traffic={traffic_model}, seed={seed}")
+        f"traffic={traffic_model}, seed={seed}"
+        + (f", replications={replications}" if replications > 1 else ""))
 
     table = format_table(
         ["channel", "nodes", "attempted", "delivered", "failures",

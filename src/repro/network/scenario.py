@@ -103,7 +103,7 @@ class ChannelScenario:
     """
 
     #: Simulation backends accepted by :meth:`run`.
-    BACKENDS = ("event", "vectorized")
+    BACKENDS = ("event", "vectorized", "batched")
 
     def __init__(self, nodes: List[SensorNode], config: SuperframeConfig,
                  constants: MacConstants = MAC_2450MHZ,
@@ -171,7 +171,11 @@ class ChannelScenario:
 
         ``backend`` selects the simulation kernel: ``"event"`` is the
         discrete-event reference, ``"vectorized"`` the fast path of
-        :mod:`repro.mac.vectorized` (identical counts for the same seed).
+        :mod:`repro.mac.vectorized` (identical counts for the same seed) and
+        ``"batched"`` the same kernel — for a single channel the two are one
+        code path; the batched name matters at the network fan-out level
+        (:func:`repro.network.simulate.simulate_network`), where it collapses
+        all channels into one lockstep call.
         """
         if backend not in self.BACKENDS:
             raise ValueError(f"Unknown backend {backend!r}; "
@@ -179,7 +183,7 @@ class ChannelScenario:
         if superframes < 1:
             raise ValueError("superframes must be at least 1")
         tx_levels = self.resolved_tx_levels_dbm()
-        if backend == "vectorized":
+        if backend in ("vectorized", "batched"):
             from repro.mac.vectorized import VectorizedChannelSimulator
             simulator = VectorizedChannelSimulator(
                 nodes=self.nodes, config=self.config,

@@ -9,6 +9,17 @@ shared placement seed and a per-channel simulation seed spawned from the
 master seed — and runs them through any :mod:`repro.runner.executor`
 strategy, so ``--jobs N`` parallelism and serial runs produce identical
 results.
+
+The ``"batched"`` backend replaces the fan-out entirely: every (channel,
+replication) pair becomes a :class:`repro.mac.vectorized.ChannelLane` of one
+:class:`repro.mac.vectorized.BatchedChannelSimulator` call, which advances
+all lanes in lockstep numpy passes.  Lane seeds are exactly the per-channel
+seeds of the task fan-out (replication 0) plus
+:func:`replication_seeds`-spawned children (replications 1+), so batched and
+per-channel runs are bit-identical row for row and adding replications never
+perturbs existing ones.  The executor argument is ignored on this path —
+the batch *is* the parallelism; the task-based backends remain the fallback
+for process-pool distribution of the event kernel.
 """
 
 from __future__ import annotations
@@ -25,6 +36,26 @@ from repro.sim.random import spawn_seeds
 #: Seed-stream label of the per-channel simulation seeds.
 CHANNEL_SEED_STREAM = "network.simulate.channels"
 
+#: Seed-stream label of the per-replication children of a channel seed.
+REPLICATION_SEED_STREAM = "network.simulate.replications"
+
+
+def replication_seeds(channel_seed: int, count: int) -> List[int]:
+    """Per-replication simulation seeds of one channel.
+
+    Replication 0 *is* the channel seed — a single-replication run draws
+    exactly the variates it always has — and replications 1+ are
+    :func:`repro.sim.random.spawn_seeds` children of it, so the list is
+    prefix-stable: raising ``count`` extends it without perturbing earlier
+    replications.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if count == 1:
+        return [channel_seed]
+    return [channel_seed] + spawn_seeds(channel_seed,
+                                        REPLICATION_SEED_STREAM, count - 1)
+
 
 @dataclass(frozen=True)
 class ChannelSimTask:
@@ -33,7 +64,10 @@ class ChannelSimTask:
     ``placement_seed`` drives node placement and path losses and is shared
     by every task of a network run (all workers must see the same
     population); ``sim_seed`` drives the channel's packet-level randomness
-    and is unique per channel.
+    and is unique per (channel, replication).  ``replication`` is ``None``
+    for single-replication runs (no ``"replication"`` row key, preserving
+    historical row shapes and cache artifacts) and the replication index
+    when the run asked for several.
     """
 
     spec: ScenarioSpec
@@ -43,6 +77,7 @@ class ChannelSimTask:
     superframes: int
     max_nodes: Optional[int] = None
     backend: Optional[str] = None
+    replication: Optional[int] = None
 
 
 def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
@@ -80,8 +115,14 @@ def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
     backend = task.backend or spec.backend
     summary = channel_scenario.run(superframes=task.superframes,
                                    backend=backend)
-    return {
-        "channel": task.channel,
+    return _summary_row(task.channel, summary, task.replication)
+
+
+def _summary_row(channel: int, summary,
+                 replication: Optional[int] = None) -> Dict[str, Any]:
+    """The row dict every backend reports for one channel simulation."""
+    row = {
+        "channel": channel,
         "nodes": summary.node_count,
         "superframes": summary.superframes,
         "packets_attempted": summary.packets_attempted,
@@ -93,6 +134,9 @@ def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
         "mean_delivery_delay_s": summary.mean_delivery_delay_s,
         "energy_by_phase_j": dict(summary.energy_by_phase_j),
     }
+    if replication is not None:
+        row["replication"] = replication
+    return row
 
 
 def _overhead_bytes() -> int:
@@ -103,8 +147,9 @@ def _overhead_bytes() -> int:
 def simulate_network(spec: ScenarioSpec, superframes: Optional[int] = None,
                      seed: Optional[int] = 0, executor=None,
                      max_nodes_per_channel: Optional[int] = None,
-                     backend: Optional[str] = None) -> List[Dict[str, Any]]:
-    """Simulate every channel of ``spec``, optionally on a process pool.
+                     backend: Optional[str] = None,
+                     replications: int = 1) -> List[Dict[str, Any]]:
+    """Simulate every channel of ``spec``, batched or on a process pool.
 
     Parameters
     ----------
@@ -121,29 +166,117 @@ def simulate_network(spec: ScenarioSpec, superframes: Optional[int] = None,
         but all channels still share a single node population.
     executor:
         A :mod:`repro.runner.executor` strategy; ``None`` runs serially.
+        Ignored by the ``"batched"`` backend, whose single lockstep kernel
+        call already advances every (channel, replication) lane at once.
     max_nodes_per_channel:
         Truncate each channel's population (scaled-down runs).
     backend:
         Override the spec's simulation backend.
+    replications:
+        Monte-Carlo replications per channel.  Replication 0 uses the
+        channel's historical seed (so ``replications=1`` reproduces every
+        existing result bit-for-bit and adds no ``"replication"`` row key);
+        further replications draw :func:`replication_seeds` children and
+        tag every row with its replication index.
 
     Returns
     -------
     list of dict
-        One summary dict per channel, in channel order.
+        One summary dict per (channel, replication), channel-major, in
+        channel then replication order.
     """
     from repro.runner.executor import run_ordered
 
+    resolved_backend = backend or spec.backend
+    if resolved_backend == "batched":
+        return _simulate_network_batched(
+            spec, superframes=superframes, seed=seed,
+            max_nodes_per_channel=max_nodes_per_channel,
+            replications=replications)
     tasks = build_channel_tasks(spec, superframes=superframes, seed=seed,
                                 max_nodes_per_channel=max_nodes_per_channel,
-                                backend=backend)
+                                backend=backend, replications=replications)
     return run_ordered(executor, simulate_channel, tasks)
+
+
+def _channel_lanes(spec: ScenarioSpec, scenario, seed: int,
+                   max_nodes_per_channel: Optional[int],
+                   replications: int):
+    """The (channel, replication) lane grid of a batched network run.
+
+    Returns ``(lanes, tags)`` where ``tags`` holds the matching
+    ``(channel, replication-or-None)`` row labels.  Node selection, link
+    adaptation and transmit-level resolution replicate
+    :func:`simulate_channel` exactly — every lane of one channel shares the
+    node population and levels; only the lane seed varies.
+    """
+    from repro.mac.vectorized import ChannelLane
+    from repro.network.scenario import ChannelScenario
+
+    channel_seeds = spawn_seeds(seed, CHANNEL_SEED_STREAM, len(spec.channels))
+    lanes = []
+    tags = []
+    for channel, channel_seed in zip(spec.channels, channel_seeds):
+        nodes = scenario.nodes_on_channel(channel)
+        if max_nodes_per_channel is not None:
+            nodes = nodes[:max_nodes_per_channel]
+        if spec.tx_policy == TX_POLICY_ADAPTIVE:
+            frame_bytes = spec.payload_bytes + _overhead_bytes()
+            levels = adaptive_tx_levels(
+                [node.path_loss_db for node in nodes], frame_bytes,
+                target_packet_error=spec.target_packet_error,
+                error_model=scenario.error_model)
+            for node, level in zip(nodes, levels):
+                node.tx_power_dbm = level
+        channel_scenario = ChannelScenario(
+            nodes=nodes,
+            config=spec.superframe_config(),
+            constants=spec.constants(),
+            payload_bytes=spec.payload_bytes,
+            seed=channel_seed,
+            csma_params=spec.csma_parameters(),
+            default_tx_power_dbm=spec.tx_power_dbm,
+            traffic=spec.traffic)
+        tx_levels = channel_scenario.resolved_tx_levels_dbm()
+        for replication, lane_seed in enumerate(
+                replication_seeds(channel_seed, replications)):
+            lanes.append(ChannelLane(nodes=nodes, tx_levels_dbm=tx_levels,
+                                     seed=lane_seed))
+            tags.append((channel,
+                         replication if replications > 1 else None))
+    return lanes, tags
+
+
+def _simulate_network_batched(spec: ScenarioSpec,
+                              superframes: Optional[int] = None,
+                              seed: Optional[int] = 0,
+                              max_nodes_per_channel: Optional[int] = None,
+                              replications: int = 1) -> List[Dict[str, Any]]:
+    """One lockstep kernel call covering every (channel, replication)."""
+    from repro.mac.vectorized import BatchedChannelSimulator
+
+    if seed is None:
+        seed = int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    if superframes is None:
+        superframes = spec.superframes_hint
+    scenario = spec.build_seeded(seed)
+    lanes, tags = _channel_lanes(spec, scenario, seed,
+                                 max_nodes_per_channel, replications)
+    simulator = BatchedChannelSimulator(
+        lanes, config=spec.superframe_config(), constants=spec.constants(),
+        payload_bytes=spec.payload_bytes,
+        csma_params=spec.csma_parameters(), traffic=spec.traffic)
+    summaries = simulator.run(superframes=superframes)
+    return [_summary_row(channel, summary, replication)
+            for (channel, replication), summary in zip(tags, summaries)]
 
 
 def build_channel_tasks(spec: ScenarioSpec, superframes: Optional[int] = None,
                         seed: Optional[int] = 0,
                         max_nodes_per_channel: Optional[int] = None,
-                        backend: Optional[str] = None) -> List[ChannelSimTask]:
-    """The per-channel task list of :func:`simulate_network`.
+                        backend: Optional[str] = None,
+                        replications: int = 1) -> List[ChannelSimTask]:
+    """The per-(channel, replication) task list of :func:`simulate_network`.
 
     A ``seed`` of ``None`` is resolved to one concrete (unpredictable)
     master seed up front — every channel task must still share the same
@@ -155,9 +288,13 @@ def build_channel_tasks(spec: ScenarioSpec, superframes: Optional[int] = None,
     superframes = spec.superframes_hint if superframes is None else superframes
     seeds = spawn_seeds(seed, CHANNEL_SEED_STREAM, len(channels))
     return [ChannelSimTask(spec=spec, channel=channel, placement_seed=seed,
-                           sim_seed=channel_seed, superframes=superframes,
-                           max_nodes=max_nodes_per_channel, backend=backend)
-            for channel, channel_seed in zip(channels, seeds)]
+                           sim_seed=lane_seed, superframes=superframes,
+                           max_nodes=max_nodes_per_channel, backend=backend,
+                           replication=(replication if replications > 1
+                                        else None))
+            for channel, channel_seed in zip(channels, seeds)
+            for replication, lane_seed in enumerate(
+                replication_seeds(channel_seed, replications))]
 
 
 def aggregate_channel_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -166,12 +303,19 @@ def aggregate_channel_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
     Channels that delivered nothing report ``mean_delivery_delay_s`` of
     ``None``; the network mean skips them (weighting the rest by delivered
     packets) and is itself ``None`` when no channel delivered anything.
+
+    Replication-tagged rows (``replications > 1`` runs) pool naturally:
+    packet counts and failure probability sum over every (channel,
+    replication) row and means weight every row alike, while ``nodes``
+    counts each physical node once (replication 0 rows only — all
+    replications of a channel share its population).
     """
     attempted = sum(row["packets_attempted"] for row in rows)
     delivered = sum(row["packets_delivered"] for row in rows)
     failures = sum(row["channel_access_failures"] for row in rows)
     collisions = sum(row["collisions"] for row in rows)
-    node_count = sum(row["nodes"] for row in rows)
+    node_count = sum(row["nodes"] for row in rows
+                     if row.get("replication", 0) == 0)
     power = (float(np.average([row["mean_power_uw"] for row in rows],
                               weights=[row["nodes"] for row in rows]))
              if node_count else 0.0)

@@ -81,7 +81,10 @@ class ScenarioSpec:
     csma_convention:
         ``"paper"`` or ``"standard"`` abort rule.
     backend:
-        Default simulation backend for this workload.
+        Default simulation backend for this workload: ``"event"``
+        (discrete-event reference), ``"vectorized"`` (per-channel fast
+        path) or ``"batched"`` (all channels and replications in one
+        lockstep kernel call — same counts, fastest fan-out).
     superframes_hint:
         Suggested simulation length in beacon intervals (drivers and
         examples may override).
@@ -117,7 +120,7 @@ class ScenarioSpec:
             raise ValueError(
                 f"Unknown csma_convention {self.csma_convention!r}; choose "
                 f"'{CSMA_PAPER}' or '{CSMA_STANDARD}'")
-        if self.backend not in ("event", "vectorized"):
+        if self.backend not in ("event", "vectorized", "batched"):
             raise ValueError(f"Unknown backend {self.backend!r}")
         if self.superframes_hint < 1:
             raise ValueError("superframes_hint must be at least 1")

@@ -8,6 +8,7 @@ Usage (with ``src`` on ``PYTHONPATH`` or the package installed)::
     python -m repro run fig6_csma --param num_windows=4
     python -m repro run fig6_csma --output csv --output-file rows.csv
     python -m repro sweep run node_density    # design-space exploration
+    python -m repro bench --quick --check     # perf-trajectory smoke
     python -m repro cache                     # cache statistics
     python -m repro cache --clear             # drop every artifact
     python -m repro cache prune --keep-current  # drop stale-code entries
@@ -92,11 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "embedded code-version token differs "
                                    "from the current sources")
 
-    # Imported here, not at module scope: the sweep package sits *above*
-    # the runner in the layering (it imports repro.runner.engine), so the
-    # runner must not depend on it at import time.
+    # Imported here, not at module scope: the sweep and bench packages sit
+    # *above* the runner in the layering (they import the experiment
+    # drivers), so the runner must not depend on them at import time.
     from repro.sweep.cli import add_sweep_parser
     add_sweep_parser(commands)
+    from repro.bench.cli import add_bench_parser
+    add_bench_parser(commands)
     return parser
 
 
@@ -218,6 +221,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "sweep":
         from repro.sweep.cli import command_sweep
         handler = command_sweep
+    elif arguments.command == "bench":
+        from repro.bench.cli import command_bench
+        handler = command_bench
     else:
         handler = {"list": _command_list,
                    "run": _command_run,

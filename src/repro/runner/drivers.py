@@ -291,12 +291,14 @@ def run_improvements(params: Mapping[str, Any],
 
 def run_case_study_full(params: Mapping[str, Any],
                         context: RunContext) -> Dict[str, Any]:
-    """Section 5 case study simulated at full scale (vectorized backend).
+    """Section 5 case study simulated at full scale (batched backend).
 
-    Every channel is an independent task with its own spawned seed, fanned
-    out through the context executor; per-channel summaries are aggregated
-    NaN-safely (channels that delivered nothing are skipped in the delay
-    mean instead of poisoning it).
+    The default batched backend advances every (channel, replication) lane
+    in one lockstep kernel call; the vectorized and event backends fan the
+    channels out as independent tasks with their own spawned seeds through
+    the context executor.  Per-channel summaries are aggregated NaN-safely
+    (channels that delivered nothing are skipped in the delay mean instead
+    of poisoning it).
     """
     from repro.experiments.case_study_full import run_full_case_study
     cap = params["nodes_per_channel_cap"]
@@ -315,6 +317,7 @@ def run_case_study_full(params: Mapping[str, Any],
         traffic_model=params["traffic_model"],
         traffic_rate_scale=params["traffic_rate_scale"],
         traffic_mix=params["traffic_mix"],
+        replications=params["replications"],
         seed=context.seed,
         executor=context.executor)
     return {"rows": jsonify(result.channel_rows),
@@ -498,7 +501,7 @@ def build_default_registry() -> ExperimentRegistry:
     registry.register(ExperimentSpec(
         name="case_study_full", figure="Section 5 (simulated)",
         title="Full-scale packet-level simulation of the dense-network "
-              "case study (vectorized backend, per-channel fan-out)",
+              "case study (batched lockstep kernel)",
         runner=run_case_study_full,
         params=[
             ParamSpec("total_nodes", "int", 1600, minimum=1,
@@ -517,9 +520,15 @@ def build_default_registry() -> ExperimentRegistry:
             ParamSpec("nodes_per_channel_cap", "int", None, minimum=1,
                       doc="cap on simulated nodes per channel (None: "
                           "uncapped)"),
-            ParamSpec("backend", "str", "vectorized",
-                      choices=("vectorized", "event"),
-                      doc="simulation kernel"),
+            ParamSpec("backend", "str", "batched",
+                      choices=("batched", "vectorized", "event"),
+                      doc="simulation kernel: batched lockstep fan-out, "
+                          "per-channel vectorized tasks, or the "
+                          "discrete-event reference"),
+            ParamSpec("replications", "int", 1, minimum=1,
+                      doc="Monte-Carlo replications per channel "
+                          "(replication 0 reuses the historical channel "
+                          "seed)"),
             ParamSpec("battery_life_extension", "bool", False,
                       doc="IEEE 802.15.4 battery-life-extension CAP mode"),
             ParamSpec("csma_convention", "str", "paper",

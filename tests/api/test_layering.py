@@ -1,8 +1,9 @@
-"""One-way layering: the runner must not know about repro.api or repro.sweep.
+"""One-way layering: the runner knows neither repro.api, sweep nor bench.
 
-``repro.api`` sits on top of both the runner and the sweep subsystem; the
-runner package must import neither at import time (the CLI wires the sweep
-command tree in lazily).  CI runs the same assertion as a standalone step.
+``repro.api`` sits on top of the runner, the sweep subsystem and the bench
+subsystem; the runner package must import none of them at import time (the
+CLI wires the sweep and bench command trees in lazily).  CI runs the same
+assertion as a standalone step.
 """
 
 import subprocess
@@ -18,11 +19,11 @@ def _run(code: str) -> subprocess.CompletedProcess:
         timeout=120, env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
 
 
-def test_importing_the_runner_pulls_in_neither_api_nor_sweep():
+def test_importing_the_runner_pulls_in_no_upper_layer():
     completed = _run(
         "import sys; import repro.runner, repro.runner.cli; "
         "offenders = sorted(m for m in sys.modules "
-        "if m.startswith(('repro.api', 'repro.sweep'))); "
+        "if m.startswith(('repro.api', 'repro.sweep', 'repro.bench'))); "
         "assert not offenders, offenders")
     assert completed.returncode == 0, completed.stderr
 

@@ -53,6 +53,16 @@ GOLDEN_SIM_DELIVERED = 218
 GOLDEN_SIM_ACCESS_FAILURES = 22
 GOLDEN_SIM_POWER_UW = 1593.5414670487926
 
+#: Golden values of the batched lockstep backend at the *full* default
+#: scale (1600 nodes, 16 channels, 50 superframes, seed 0) — the batched
+#: kernel is fast enough to pin the paper's headline regime directly.
+BATCHED_PARAMS = {"backend": "batched"}
+BATCHED_SEED = 0
+GOLDEN_BATCHED_POWER_UW = 208.73583735699742
+GOLDEN_BATCHED_FAILURE = 0.1932
+GOLDEN_BATCHED_DELIVERED = 64544
+GOLDEN_BATCHED_ACCESS_FAILURES = 14275
+
 #: Drift tolerance of the golden pins: loose enough for cross-platform
 #: libm noise, tight enough that any change in RNG consumption, grid
 #: layout or model arithmetic (all >= 1e-4 relative) trips the net.
@@ -217,3 +227,93 @@ class TestFullScaleSimulationGolden:
                 aggregate["channel_access_failures"]) == \
             (GOLDEN_SIM_ATTEMPTED, GOLDEN_SIM_DELIVERED,
              GOLDEN_SIM_ACCESS_FAILURES)
+
+    def test_batched_kernel_reproduces_the_golden_counts(self):
+        """The batched lockstep backend is the third kernel bound to the
+        same pins: one batch call must draw the exact variates the
+        per-channel fan-out draws."""
+        run = run_experiment("case_study_full",
+                             params=dict(SIM_PARAMS, backend="batched"),
+                             cache=False, seed=SIM_SEED)
+        aggregate = run.payload["aggregate"]
+        observed = (aggregate["packets_attempted"],
+                    aggregate["packets_delivered"],
+                    aggregate["channel_access_failures"])
+        assert observed == (GOLDEN_SIM_ATTEMPTED, GOLDEN_SIM_DELIVERED,
+                            GOLDEN_SIM_ACCESS_FAILURES), (
+            f"The batched backend drifted from the scaled Section 5 pins: "
+            f"(attempted, delivered, access failures) {observed} != "
+            f"({GOLDEN_SIM_ATTEMPTED}, {GOLDEN_SIM_DELIVERED}, "
+            f"{GOLDEN_SIM_ACCESS_FAILURES}) — the batched kernel no longer "
+            f"matches the event and vectorized kernels.")
+
+    def test_batched_kernel_reproduces_the_golden_power(self):
+        run = run_experiment("case_study_full",
+                             params=dict(SIM_PARAMS, backend="batched"),
+                             cache=False, seed=SIM_SEED)
+        power = run.payload["aggregate"]["mean_power_uw"]
+        assert power == pytest.approx(GOLDEN_SIM_POWER_UW, rel=DRIFT), (
+            f"The batched backend's power ledger drifted from the pinned "
+            f"{GOLDEN_SIM_POWER_UW:.6f} uW to {power:.6f} uW.")
+
+
+class TestBatchedHeadlineGolden:
+    """The paper's Section 5 headline regime, simulated by the batched
+    backend at *full* default scale (1600 nodes, 16 channels, 50
+    superframes).
+
+    The per-channel kernels are too slow to run the full fan-out in
+    tier-1; the batched kernel finishes it in well under a second, so the
+    headline regime itself — not just a scaled stand-in — gets both a
+    paper band and a 1e-6 drift pin.
+    """
+
+    @pytest.fixture(scope="class")
+    def headline(self):
+        return run_experiment("case_study_full", params=BATCHED_PARAMS,
+                              cache=False, seed=BATCHED_SEED)
+
+    def test_power_lands_in_the_paper_band(self, headline):
+        power = headline.payload["aggregate"]["mean_power_uw"]
+        assert abs(power - PAPER_POWER_UW) <= 5.0, (
+            f"Paper headline: 211 uW average node power. The batched "
+            f"backend's full-scale simulation now measures {power:.4f} uW "
+            f"— outside the 211 +/- 5 uW simulation band.")
+
+    def test_power_golden_pin(self, headline):
+        power = headline.payload["aggregate"]["mean_power_uw"]
+        assert power == pytest.approx(GOLDEN_BATCHED_POWER_UW, rel=DRIFT), (
+            f"Paper headline: 211 uW. The batched backend's pinned "
+            f"full-scale value {GOLDEN_BATCHED_POWER_UW:.6f} uW drifted to "
+            f"{power:.6f} uW.")
+
+    def test_failure_probability_lands_in_the_paper_regime(self, headline):
+        failure = headline.payload["aggregate"]["failure_probability"]
+        assert abs(failure - PAPER_FAILURE) <= 0.05, (
+            f"Paper headline: 16 % transaction failure probability. The "
+            f"batched backend's full-scale simulation now measures "
+            f"{failure:.4%} — outside the 16 +/- 5 percentage-point "
+            f"simulation band.")
+
+    def test_failure_probability_golden_pin(self, headline):
+        failure = headline.payload["aggregate"]["failure_probability"]
+        assert failure == pytest.approx(GOLDEN_BATCHED_FAILURE, rel=DRIFT), (
+            f"Paper headline: 16 %. The batched backend's pinned "
+            f"full-scale value {GOLDEN_BATCHED_FAILURE:.6f} drifted to "
+            f"{failure:.6f}.")
+
+    def test_delivery_counts_golden_pin(self, headline):
+        aggregate = headline.payload["aggregate"]
+        observed = (aggregate["packets_delivered"],
+                    aggregate["channel_access_failures"])
+        assert observed == (GOLDEN_BATCHED_DELIVERED,
+                            GOLDEN_BATCHED_ACCESS_FAILURES), (
+            f"The batched backend's full-scale delivery counts drifted: "
+            f"(delivered, access failures) {observed} != pinned "
+            f"({GOLDEN_BATCHED_DELIVERED}, "
+            f"{GOLDEN_BATCHED_ACCESS_FAILURES}).")
+
+    def test_report_is_within_every_declared_tolerance(self, headline):
+        assert headline.payload["report"]["all_within_tolerance"], (
+            "The batched backend's full-scale report flags a paper "
+            "comparison outside its tolerance band.")

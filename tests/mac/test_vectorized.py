@@ -16,9 +16,12 @@ import pytest
 
 from repro.mac.csma import CsmaParameters
 from repro.mac.superframe import SuperframeConfig
-from repro.mac.vectorized import VectorizedChannelSimulator
+from repro.mac.vectorized import (BatchedChannelSimulator, ChannelLane,
+                                  VectorizedChannelSimulator)
 from repro.network.node import SensorNode
 from repro.network.scenario import ChannelScenario, DenseNetworkScenario
+from repro.network.simulate import simulate_network
+from repro.network.spec import ScenarioSpec
 from repro.network.traffic import build_traffic_model
 
 
@@ -202,6 +205,227 @@ class TestVectorizedProperties:
         assert fast.failure_probability == 1.0
 
 
+class TestBatchedNetworkEquivalenceMatrix:
+    """Same-seed equivalence matrix of the batched lockstep backend.
+
+    One :class:`BatchedChannelSimulator` call spans every (channel,
+    replication) lane of a network run; it must reproduce the per-channel
+    kernels *row for row* — identical integer counts, float-precision
+    powers, delays and energy splits.  The matrix pins that contract over
+    every registered traffic model, both superframe structures
+    (full-active and duty-cycled SO < BO) and the 1 / 3 / 16 channel
+    fan-outs the case study scales across.
+    """
+
+    MODELS = ("saturated", "periodic", "poisson", "bursty", "mixed")
+    STRUCTURES = (pytest.param(3, 3, id="full-active"),
+                  pytest.param(4, 2, id="duty-cycled"))
+    CHANNEL_COUNTS = (1, 3, 16)
+
+    COUNT_KEYS = ("channel", "nodes", "superframes", "packets_attempted",
+                  "packets_delivered", "channel_access_failures",
+                  "collisions")
+    FLOAT_KEYS = ("failure_probability", "mean_power_uw",
+                  "mean_delivery_delay_s")
+
+    @classmethod
+    def assert_rows_match(cls, rows, reference, label):
+        assert len(rows) == len(reference), label
+        for index, (row, ref) in enumerate(zip(rows, reference)):
+            where = f"{label}, row {index}"
+            for key in cls.COUNT_KEYS:
+                assert row[key] == ref[key], f"{where}: {key}"
+            for key in cls.FLOAT_KEYS:
+                if ref[key] is None:
+                    assert row[key] is None, f"{where}: {key}"
+                else:
+                    assert row[key] == pytest.approx(ref[key], rel=1e-9), \
+                        f"{where}: {key}"
+            for phase, energy in ref["energy_by_phase_j"].items():
+                assert row["energy_by_phase_j"][phase] == pytest.approx(
+                    energy, rel=1e-9), f"{where}: energy {phase}"
+
+    @pytest.mark.parametrize("channels", CHANNEL_COUNTS)
+    @pytest.mark.parametrize("beacon_order,superframe_order", STRUCTURES)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_batched_matches_per_channel_kernels(self, model, beacon_order,
+                                                 superframe_order, channels):
+        spec = ScenarioSpec(total_nodes=3 * channels, num_channels=channels,
+                            beacon_order=beacon_order,
+                            superframe_order=superframe_order,
+                            traffic=build_traffic_model(model,
+                                                        payload_bytes=120))
+
+        def run(backend):
+            return simulate_network(spec, superframes=4, seed=5,
+                                    backend=backend)
+
+        event = run("event")
+        vectorized = run("vectorized")
+        batched = run("batched")
+        config = f"{model}/BO{beacon_order}SO{superframe_order}/{channels}ch"
+        self.assert_rows_match(vectorized, event,
+                               f"vectorized vs event ({config})")
+        self.assert_rows_match(batched, vectorized,
+                               f"batched vs vectorized ({config})")
+
+
+class TestBatchedLaneIndependence:
+    """A lane's results must not depend on which other lanes share the batch.
+
+    The lockstep kernel advances every lane through shared numpy passes;
+    per-lane random streams, counters and timelines must still be exactly
+    what a solo run of that lane produces, whatever the batch shape.
+    """
+
+    def build_lane(self, seed, nodes=4, path_loss_db=70.0):
+        lane_nodes = [SensorNode(node_id=i, channel=11,
+                                 path_loss_db=path_loss_db,
+                                 tx_power_dbm=0.0)
+                      for i in range(1, nodes + 1)]
+        return ChannelLane(nodes=lane_nodes,
+                           tx_levels_dbm=[0.0] * nodes, seed=seed)
+
+    def run_batch(self, lanes, superframes=4):
+        config = SuperframeConfig(beacon_order=3, superframe_order=3)
+        simulator = BatchedChannelSimulator(lanes, config=config,
+                                            payload_bytes=100)
+        return simulator.run(superframes=superframes)
+
+    def assert_same_summary(self, left, right):
+        assert left.packets_attempted == right.packets_attempted
+        assert left.packets_delivered == right.packets_delivered
+        assert left.channel_access_failures == right.channel_access_failures
+        assert left.collisions == right.collisions
+        assert left.mean_node_power_w == pytest.approx(
+            right.mean_node_power_w, rel=1e-9)
+
+    @pytest.mark.parametrize("batch_seeds", [(3,), (3, 4), (4, 3, 5, 6)])
+    def test_lane_summary_invariant_under_batch_shape(self, batch_seeds):
+        solo = self.run_batch([self.build_lane(3)])[0]
+        lanes = [self.build_lane(seed) for seed in batch_seeds]
+        batch = self.run_batch(lanes)
+        position = batch_seeds.index(3)
+        self.assert_same_summary(batch[position], solo)
+
+    def test_mixed_population_sizes_in_one_batch(self):
+        """Lanes of different node counts coexist in one lockstep call."""
+        lanes = [self.build_lane(7, nodes=2), self.build_lane(8, nodes=6)]
+        batch = self.run_batch(lanes)
+        for position, lane in enumerate(lanes):
+            solo = self.run_batch([self.build_lane(lane.seed,
+                                                   nodes=len(lane.nodes))])
+            self.assert_same_summary(batch[position], solo[0])
+
+    def test_batch_needs_at_least_one_lane(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            self.run_batch([])
+
+    def test_lane_node_and_level_counts_must_align(self):
+        lane = self.build_lane(1)
+        bad = ChannelLane(nodes=lane.nodes, tx_levels_dbm=[0.0], seed=1)
+        with pytest.raises(ValueError, match="transmit level"):
+            self.run_batch([bad])
+
+
+class TestCompatReferencePath:
+    """The retained pre-batching reference kernel stays bit-equivalent.
+
+    ``REPRO_MAC_COMPAT`` (or a numpy whose raw streams fail the replay
+    probe) routes every lockstep run through the per-lane scalar reference
+    implementation — the kernel the batched fast path's speedup is
+    measured against.  It must keep producing the exact counts and
+    float-identical energies of the fast path across the same regimes the
+    cross-validation suite pins.
+    """
+
+    SCENARIOS = {
+        "heavy-load": dict(path_loss_db=70.0, beacon_order=2,
+                           superframe_order=2, node_count=16, traffic=None),
+        "lossy-links": dict(path_loss_db=93.0, beacon_order=3,
+                            superframe_order=3, node_count=6, traffic=None),
+        "duty-cycled-poisson": dict(path_loss_db=70.0, beacon_order=4,
+                                    superframe_order=2, node_count=8,
+                                    traffic="poisson"),
+        "battery-life-extension": dict(path_loss_db=70.0, beacon_order=2,
+                                       superframe_order=2, node_count=12,
+                                       traffic=None, ble=True),
+    }
+
+    def build_channel(self, path_loss_db, beacon_order, superframe_order,
+                      node_count, traffic, ble=False):
+        nodes = [SensorNode(node_id=i, channel=11,
+                            path_loss_db=path_loss_db, tx_power_dbm=0.0)
+                 for i in range(1, node_count + 1)]
+        config = SuperframeConfig(beacon_order=beacon_order,
+                                  superframe_order=superframe_order)
+        params = (CsmaParameters.from_mac_constants(
+                      battery_life_extension=True) if ble else None)
+        model = (build_traffic_model(traffic, payload_bytes=100)
+                 if traffic else None)
+        return ChannelScenario(nodes, config, payload_bytes=100, seed=5,
+                               csma_params=params, traffic=model)
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_reference_kernel_matches_the_fast_path(self, scenario,
+                                                    monkeypatch):
+        settings = self.SCENARIOS[scenario]
+        fast = self.build_channel(**settings).run(superframes=8,
+                                                  backend="vectorized")
+        monkeypatch.setenv("REPRO_MAC_COMPAT", "1")
+        reference = self.build_channel(**settings).run(superframes=8,
+                                                       backend="vectorized")
+        assert_summaries_match(fast, reference)
+
+    def test_probe_failure_routes_to_the_reference_kernel(self, monkeypatch):
+        """A numpy whose raw streams do not replay bit-for-bit must fall
+        back to the reference kernel rather than drift silently."""
+        import repro.mac.vectorized as vectorized
+
+        monkeypatch.setattr(vectorized, "_raw_compat", False)
+        fallback = self.build_channel(**self.SCENARIOS["heavy-load"]).run(
+            superframes=4, backend="vectorized")
+        monkeypatch.setattr(vectorized, "_raw_compat", True)
+        fast = self.build_channel(**self.SCENARIOS["heavy-load"]).run(
+            superframes=4, backend="vectorized")
+        assert_summaries_match(fast, fallback)
+
+    def test_probe_detects_mismatched_integer_streams(self):
+        from repro.mac.vectorized import _probe_matches
+
+        real = np.random.default_rng(np.random.SeedSequence(1))
+        raw = np.random.default_rng(np.random.SeedSequence(2)).bit_generator
+        assert not _probe_matches(real, raw)
+
+    def test_probe_detects_a_drifting_double_path(self):
+        """Streams that agree on integers and uniforms but not on
+        ``random()`` must still fail the probe."""
+        from repro.mac.vectorized import _probe_matches
+
+        class CorruptRandom:
+            def __init__(self, generator):
+                self._generator = generator
+
+            def integers(self, *args, **kwargs):
+                return self._generator.integers(*args, **kwargs)
+
+            def uniform(self, *args, **kwargs):
+                return self._generator.uniform(*args, **kwargs)
+
+            def random(self):
+                return -1.0
+
+        seed = np.random.SeedSequence(3)
+        real = CorruptRandom(np.random.default_rng(seed))
+        raw = np.random.default_rng(np.random.SeedSequence(3)).bit_generator
+        assert not _probe_matches(real, raw)
+
+    def test_this_numpy_passes_the_probe(self):
+        from repro.mac.vectorized import raw_streams_compatible
+
+        assert raw_streams_compatible()
+
+
 class TestTrendsAtScale:
     """The vectorized backend must reproduce the analytical model's trends
     when the channel is scaled from validation size to the paper's 100
@@ -236,3 +460,125 @@ class TestTrendsAtScale:
         interval = DenseNetworkScenario(seed=1).superframe_config().beacon_interval_s
         for summary in summaries.values():
             assert 0.0 < summary.mean_delivery_delay_s < interval
+
+
+class TestHorizonCutRegimes:
+    """Fast path and reference kernel agree where the horizon cuts activity.
+
+    ``BO == SO == 0`` makes the last CAP end exactly at the simulation
+    horizon, so saturated bursts drive contention chains, retry resumes
+    and deferred wake-ups across the cut — the kill paths a long
+    duty-cycled run never reaches.  Each scenario pins the fast kernel
+    against the retained reference kernel bit-for-bit: counts exactly,
+    power, delay and per-phase energies to 1e-9.
+
+    Scope: with no stagger every device contends on the same
+    backoff-slot grid, so dense bursts can produce float-identical event
+    times, where the kernels' tie orders legitimately differ (the event
+    and reference kernels disagree there too).  The scenarios below were
+    chosen tie-free — except ``zero-backoff``, where ties are structural
+    (every backoff is zero slots) and the contract weakens to exact
+    counts.  Event-kernel agreement across the cut holds at count level
+    only in the sparse regimes; the dense ones reorder the cut's last
+    few samples.
+    """
+
+    SCENARIOS = {
+        # busy-backoff resume past the horizon; retry resume after a
+        # lost acknowledgement crossing the cut
+        "retry-resume-cut": dict(node_count=10, path_loss_db=95.0,
+                                 seed=6, superframes=4),
+        # clear-CCA window escaping to the heap straight past the cut
+        "window-escape-cut": dict(node_count=10, path_loss_db=95.0,
+                                  seed=26, superframes=4),
+        # 31-slot backoffs carry devices past the next beacon: the next
+        # attempt defers a whole superframe
+        "deferred-wakeups": dict(node_count=12, path_loss_db=90.0,
+                                 seed=4, superframes=6, backoff_exponent=5),
+        # same carry-over, but the deferred first CCA lands beyond the
+        # horizon and the device dies in phase A
+        "deferred-wakeup-killed": dict(node_count=12, path_loss_db=90.0,
+                                       seed=8, superframes=6,
+                                       backoff_exponent=5),
+        # deep backoff chains killed mid-contention at the cut
+        "backoff-chain-cut": dict(node_count=12, path_loss_db=90.0,
+                                  seed=10, superframes=6,
+                                  backoff_exponent=5),
+        # a lone lossy device defers so hard whole superframes pass
+        # without a single schedulable CCA
+        "single-node-retries": dict(node_count=1, path_loss_db=97.0,
+                                    seed=7, superframes=20,
+                                    backoff_exponent=5),
+    }
+
+    #: BE pinned at 0: every CCA lands on the same instant, so event
+    #: ordering at ties differs between the kernels and only the
+    #: transaction counts are pinned.
+    ZERO_BACKOFF = dict(node_count=3, path_loss_db=95.0, seed=5,
+                        superframes=4, backoff_exponent=0)
+
+    #: Sparse enough that the event kernel's cut resolves the same
+    #: transaction outcomes (denser bursts reorder the last samples).
+    EVENT_COUNT_AGREEMENT = ("single-node-retries", "zero-backoff")
+
+    def build_channel(self, node_count, path_loss_db, seed,
+                      backoff_exponent=None):
+        nodes = [SensorNode(node_id=i, channel=11,
+                            path_loss_db=path_loss_db, tx_power_dbm=0.0)
+                 for i in range(1, node_count + 1)]
+        config = SuperframeConfig(beacon_order=0, superframe_order=0)
+        params = None
+        if backoff_exponent is not None:
+            params = CsmaParameters(min_be=backoff_exponent,
+                                    max_be=backoff_exponent)
+        return ChannelScenario(nodes, config, payload_bytes=100, seed=seed,
+                               csma_params=params)
+
+    def run_scenario(self, settings, backend="vectorized"):
+        settings = dict(settings)
+        superframes = settings.pop("superframes")
+        return self.build_channel(**settings).run(superframes=superframes,
+                                                  backend=backend)
+
+    @staticmethod
+    def assert_counts_match(expected, actual, context):
+        for field in ("packets_attempted", "packets_delivered",
+                      "channel_access_failures", "collisions"):
+            assert getattr(actual, field) == getattr(expected, field), (
+                f"{field} diverges {context}")
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_reference_kernel_matches_across_the_horizon_cut(
+            self, scenario, monkeypatch):
+        settings = self.SCENARIOS[scenario]
+        fast = self.run_scenario(settings)
+        monkeypatch.setenv("REPRO_MAC_COMPAT", "1")
+        reference = self.run_scenario(settings)
+        assert_summaries_match(reference, fast)
+
+    def test_zero_backoff_counts_match_the_reference(self, monkeypatch):
+        fast = self.run_scenario(self.ZERO_BACKOFF)
+        monkeypatch.setenv("REPRO_MAC_COMPAT", "1")
+        reference = self.run_scenario(self.ZERO_BACKOFF)
+        self.assert_counts_match(
+            reference, fast,
+            "between the fast and reference kernels at BE=0")
+
+    @pytest.mark.parametrize("scenario", EVENT_COUNT_AGREEMENT)
+    def test_event_kernel_counts_agree_in_sparse_cut_regimes(self, scenario):
+        settings = (self.ZERO_BACKOFF if scenario == "zero-backoff"
+                    else self.SCENARIOS[scenario])
+        fast = self.run_scenario(settings)
+        event = self.run_scenario(settings, backend="event")
+        self.assert_counts_match(
+            event, fast, f"between the event and fast kernels ({scenario})")
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_the_cut_leaves_unresolved_attempts(self, scenario):
+        """Every scenario must actually lose work to the horizon —
+        otherwise it stopped exercising the cut paths it exists for."""
+        summary = self.run_scenario(self.SCENARIOS[scenario])
+        unresolved = (summary.packets_attempted - summary.packets_delivered
+                      - summary.channel_access_failures)
+        assert unresolved > 0, (
+            f"{scenario} no longer drives any transaction into the cut")

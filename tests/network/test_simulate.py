@@ -1,0 +1,120 @@
+"""Seed spawning and replication semantics of the network fan-out.
+
+The batched backend's equivalence contract rests on the seed plumbing:
+every (channel, replication) lane must receive exactly the seed the
+per-channel task fan-out would have used, whatever the batch shape, and
+raising the replication count must extend — never perturb — the existing
+replications.  The property tests pin those invariants over arbitrary
+seeds; the run-level tests check the row shapes the backends report.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.simulate import replication_seeds, simulate_network
+from repro.network.spec import ScenarioSpec
+
+seeds = st.integers(min_value=0, max_value=2**63 - 1)
+
+
+class TestReplicationSeeds:
+    @settings(max_examples=50, deadline=None)
+    @given(channel_seed=seeds)
+    def test_replication_zero_is_the_channel_seed(self, channel_seed):
+        assert replication_seeds(channel_seed, 1) == [channel_seed]
+        assert replication_seeds(channel_seed, 5)[0] == channel_seed
+
+    @settings(max_examples=50, deadline=None)
+    @given(channel_seed=seeds, short=st.integers(1, 8), extra=st.integers(0, 8))
+    def test_prefix_stable_under_count_changes(self, channel_seed, short,
+                                               extra):
+        """Raising the count extends the list without moving earlier seeds,
+        so cached replication results stay valid when more are requested."""
+        long = replication_seeds(channel_seed, short + extra)
+        assert replication_seeds(channel_seed, short) == long[:short]
+
+    @settings(max_examples=50, deadline=None)
+    @given(channel_seed=seeds, count=st.integers(2, 16))
+    def test_seeds_pairwise_distinct(self, channel_seed, count):
+        spawned = replication_seeds(channel_seed, count)
+        assert len(set(spawned)) == count
+
+    @settings(max_examples=25, deadline=None)
+    @given(left=seeds, right=seeds, count=st.integers(1, 8))
+    def test_distinct_channels_spawn_disjoint_streams(self, left, right,
+                                                      count):
+        if left == right:
+            return
+        overlap = (set(replication_seeds(left, count))
+                   & set(replication_seeds(right, count)))
+        assert not overlap
+
+    @pytest.mark.parametrize("count", [0, -3])
+    def test_count_must_be_positive(self, count):
+        with pytest.raises(ValueError, match="at least 1"):
+            replication_seeds(7, count)
+
+
+def tiny_spec(**overrides):
+    defaults = dict(total_nodes=6, num_channels=2, beacon_order=3)
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def assert_rows_equal(rows, reference):
+    assert len(rows) == len(reference)
+    for row, ref in zip(rows, reference):
+        assert set(row) == set(ref)
+        for key, value in ref.items():
+            if isinstance(value, float):
+                assert row[key] == pytest.approx(value, rel=1e-9), key
+            else:
+                assert row[key] == value, key
+
+
+class TestReplicatedNetworkRuns:
+    def test_single_replication_rows_have_no_replication_key(self):
+        for backend in ("vectorized", "batched"):
+            rows = simulate_network(tiny_spec(), superframes=3, seed=4,
+                                    backend=backend)
+            assert all("replication" not in row for row in rows), backend
+
+    def test_replicated_rows_are_channel_major_and_tagged(self):
+        rows = simulate_network(tiny_spec(), superframes=3, seed=4,
+                                backend="batched", replications=3)
+        assert [row["replication"] for row in rows] == [0, 1, 2] * 2
+        channels = [row["channel"] for row in rows]
+        assert channels == sorted(channels)
+
+    def test_batched_and_per_channel_replications_identical(self):
+        """The batch *is* the fan-out: same rows, same order, same seeds."""
+        spec = tiny_spec()
+        batched = simulate_network(spec, superframes=3, seed=4,
+                                   backend="batched", replications=3)
+        fanout = simulate_network(spec, superframes=3, seed=4,
+                                  backend="vectorized", replications=3)
+        assert_rows_equal(batched, fanout)
+
+    def test_replication_zero_reproduces_the_unreplicated_run(self):
+        """Replication 0 draws the channel's historical seed, so adding
+        replications never changes the result a plain run reports."""
+        spec = tiny_spec()
+        plain = simulate_network(spec, superframes=3, seed=4,
+                                 backend="batched")
+        replicated = simulate_network(spec, superframes=3, seed=4,
+                                      backend="batched", replications=4)
+        rep_zero = [dict(row) for row in replicated
+                    if row["replication"] == 0]
+        for row in rep_zero:
+            row.pop("replication")
+        assert_rows_equal(rep_zero, plain)
+
+    def test_raising_replications_extends_without_perturbing(self):
+        spec = tiny_spec()
+        short = simulate_network(spec, superframes=3, seed=4,
+                                 backend="batched", replications=2)
+        long = simulate_network(spec, superframes=3, seed=4,
+                                backend="batched", replications=4)
+        kept = [row for row in long if row["replication"] < 2]
+        assert_rows_equal(kept, short)
