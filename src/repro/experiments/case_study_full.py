@@ -26,8 +26,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_table
+from repro.network.routing import build_routing_model
 from repro.network.simulate import aggregate_channel_rows, simulate_network
 from repro.network.spec import CASE_STUDY_SPEC, ScenarioSpec
+from repro.network.topology import build_topology_model
 from repro.network.traffic import build_traffic_model
 
 #: Paper values the simulated network is compared against.
@@ -59,6 +61,9 @@ def run_full_case_study(total_nodes: int = 1600,
                         traffic_model: str = "saturated",
                         traffic_rate_scale: float = 1.0,
                         traffic_mix: float = 0.25,
+                        topology: str = "star",
+                        routing: str = "gradient",
+                        max_hops: int = 1,
                         replications: int = 1,
                         seed: Optional[int] = 0,
                         executor=None) -> FullCaseStudyResult:
@@ -74,7 +79,18 @@ def run_full_case_study(total_nodes: int = 1600,
     assumption; ``traffic_rate_scale`` scales the stochastic models' mean
     packet rate against the paper's periodic baseline, and ``traffic_mix``
     is the bursty-alarm fraction of the ``"mixed"`` population.
+    ``topology`` / ``routing`` / ``max_hops`` open the multi-hop axis:
+    ``"star"`` with ``max_hops`` of 1 — the default — is the paper's
+    single-hop cluster bit-for-bit; a geometric topology
+    (:data:`repro.network.topology.TOPOLOGY_KINDS`) places each channel's
+    nodes and routes them over a sink tree
+    (:data:`repro.network.routing.ROUTING_KINDS`), making the energy hole
+    (relays near the sink burn hottest) directly measurable.
     """
+    if topology == "star" and max_hops > 1:
+        raise ValueError("The star topology has no node-to-node links; "
+                         "pick a geometric topology (grid, disc, cluster) "
+                         "for max_hops > 1")
     spec = ScenarioSpec(
         name="case_study_full",
         total_nodes=total_nodes,
@@ -87,6 +103,10 @@ def run_full_case_study(total_nodes: int = 1600,
                                      payload_bytes=payload_bytes,
                                      rate_scale=traffic_rate_scale,
                                      mix_fraction=traffic_mix)),
+        topology=(None if topology == "star" else
+                  build_topology_model(topology)),
+        routing=(None if topology == "star" else
+                 build_routing_model(routing, max_hops=max_hops)),
         battery_life_extension=battery_life_extension,
         csma_convention=csma_convention,
         tx_policy=tx_policy,
@@ -105,9 +125,10 @@ def run_full_case_study(total_nodes: int = 1600,
               f"({aggregate['nodes']} nodes, {aggregate['channels']} "
               f"channels, {superframes} superframes)")
     # The paper's headline numbers assume the saturated workload (one
-    # packet per superframe); under any other traffic model the figures
-    # are reported without a tolerance band.
-    paper_comparable = traffic_model == "saturated"
+    # packet per superframe) on the single-hop star; under any other
+    # traffic model or topology the figures are reported without a
+    # tolerance band.
+    paper_comparable = traffic_model == "saturated" and topology == "star"
     report.add("transaction failure probability",
                PAPER_FAILURE_PROBABILITY if paper_comparable else None,
                aggregate["failure_probability"],
@@ -135,10 +156,23 @@ def run_full_case_study(total_nodes: int = 1600,
                    note="contention + transmission only; excludes the "
                         "~480 ms average buffering delay of the 1.45 s "
                         "paper figure")
+    by_depth = aggregate.get("by_depth")
+    if by_depth and len(by_depth) > 1:
+        depths = sorted(by_depth)
+        relay_power = by_depth[depths[0]]["mean_power_uw"]
+        leaf_power = by_depth[depths[-1]]["mean_power_uw"]
+        report.add("energy-hole power ratio (hop 1 / deepest hop)", None,
+                   relay_power / leaf_power if leaf_power else 0.0,
+                   note=f"{relay_power:.1f} uW at hop 1 vs "
+                        f"{leaf_power:.1f} uW at hop {depths[-1]}: "
+                        "forwarding load concentrates on the sink's "
+                        "first-hop relays")
     report.add_note(
         f"backend={backend}, csma={csma_convention}, "
         f"ble={battery_life_extension}, tx_policy={tx_policy}, "
         f"traffic={traffic_model}, seed={seed}"
+        + (f", topology={topology}, routing={routing}, max_hops={max_hops}"
+           if topology != "star" else "")
         + (f", replications={replications}" if replications > 1 else ""))
 
     table = format_table(

@@ -122,11 +122,18 @@ class ChannelLane:
     traffic model — the paper's fan-out varies only channel membership and
     seed — but are otherwise fully independent: distinct channels, distinct
     Monte-Carlo replications of one channel, or any mix.
+
+    ``tree`` is the lane's sink tree
+    (:class:`repro.network.routing.SinkTree`) when the channel is routed:
+    relays then offer forwarding-augmented traffic and the lane's summary
+    carries a per-hop-depth breakdown.  ``None`` — the default — is the
+    classic star, byte-identical to the pre-routing kernel.
     """
 
     nodes: Sequence
     tx_levels_dbm: Sequence[float]
     seed: int
+    tree: Optional[object] = None
 
 
 def _beacon_airtime_s(config: SuperframeConfig,
@@ -300,7 +307,8 @@ class BatchedChannelSimulator:
         self.lanes = [ChannelLane(nodes=list(lane.nodes),
                                   tx_levels_dbm=[float(level) for level
                                                  in lane.tx_levels_dbm],
-                                  seed=lane.seed)
+                                  seed=lane.seed,
+                                  tree=lane.tree)
                       for lane in lanes]
         self.config = config
         self.constants = constants
@@ -329,8 +337,9 @@ class BatchedChannelSimulator:
 
     # -- the batched fast path ------------------------------------------------
     def _run_batched(self, superframes: int) -> List:
+        from repro.network.routing import depth_breakdown, make_lane_sources
         from repro.network.scenario import SimulationSummary
-        from repro.network.traffic import SaturatedTraffic, make_node_sources
+        from repro.network.traffic import SaturatedTraffic
 
         constants = self.constants
         params = self.csma_params
@@ -373,7 +382,13 @@ class BatchedChannelSimulator:
         traffic_model = self.traffic
         if traffic_model is None:
             traffic_model = SaturatedTraffic(payload_bytes=self.payload_bytes)
-        saturated = isinstance(traffic_model, SaturatedTraffic)
+        # Forwarding turns even saturated relays stateful (their own feed
+        # is bottomless but descendants' replicas are not), so any lane
+        # with relays drops the whole batch off the source-free fast path.
+        forwarding = any(lane.tree is not None and lane.tree.relays
+                         for lane in lanes)
+        saturated = isinstance(traffic_model, SaturatedTraffic) \
+            and not forwarding
 
         # ---- per-lane streams (identical names to the event kernel) --------
         # Bit generators are constructed directly from the stream names'
@@ -400,10 +415,11 @@ class BatchedChannelSimulator:
                     entropy_cache[node.node_id] = entropy
                 device_bgs.append(_seeded_pcg64(master, entropy))
             if not saturated:
-                sources.extend(make_node_sources(
+                sources.extend(make_lane_sources(
                     traffic_model,
                     [node.node_id for node in lane.nodes],
-                    RandomStreams(master)))
+                    RandomStreams(master), tree=lane.tree,
+                    hop_lag_s=interval))
             programmed = [profile.tx_level(level).level_dbm
                           for level in lane.tx_levels_dbm]
             programmed_flat.extend(programmed)
@@ -965,6 +981,14 @@ class BatchedChannelSimulator:
                 if flag[lane_index]:
                     phase_energy[phase] = float(np.sum(total[lo:hi]))
             lane_delivered = sum(delivered[lo:hi])
+            lane_tree = lanes[lane_index].tree
+            by_depth = None
+            if lane_tree is not None:
+                by_depth = depth_breakdown(
+                    lane_tree,
+                    [node.node_id for node in lanes[lane_index].nodes],
+                    attempted[lo:hi], delivered[lo:hi], delay_sum[lo:hi],
+                    energy[lo:hi], elapsed[lo:hi])
             summaries.append(SimulationSummary(
                 simulated_time_s=horizon,
                 node_count=hi - lo,
@@ -978,6 +1002,7 @@ class BatchedChannelSimulator:
                                        / lane_delivered
                                        if lane_delivered else None),
                 energy_by_phase_j=phase_energy,
+                by_depth=by_depth,
             ))
         return summaries
 
@@ -1004,6 +1029,10 @@ class VectorizedChannelSimulator:
         assumption.  Sources are built from the same ``traffic[<id>]``
         streams the event kernel uses, preserving the equivalence contract
         for every model.
+    tree:
+        Sink tree of a routed channel
+        (:class:`repro.network.routing.SinkTree`); ``None`` is the classic
+        star.
     """
 
     def __init__(self, nodes: Sequence, config: SuperframeConfig,
@@ -1012,10 +1041,10 @@ class VectorizedChannelSimulator:
                  payload_bytes: int = 120, seed: int = 0,
                  csma_params: Optional[CsmaParameters] = None,
                  profile: RadioPowerProfile = CC2420_PROFILE,
-                 traffic=None):
+                 traffic=None, tree=None):
         self._batch = BatchedChannelSimulator(
             [ChannelLane(nodes=nodes, tx_levels_dbm=tx_levels_dbm,
-                         seed=seed)],
+                         seed=seed, tree=tree)],
             config=config, constants=constants,
             payload_bytes=payload_bytes, csma_params=csma_params,
             profile=profile, traffic=traffic)
@@ -1029,6 +1058,7 @@ class VectorizedChannelSimulator:
         self.profile = profile
         self.tx_levels_dbm = lane.tx_levels_dbm
         self.traffic = traffic
+        self.tree = tree
 
     def run(self, superframes: int = 10):
         """Simulate ``superframes`` beacon intervals; same summary as the kernel."""
@@ -1053,8 +1083,9 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
     but equivalent: its variates come from ``Generator`` calls instead of
     raw-stream replay.
     """
+    from repro.network.routing import depth_breakdown, make_lane_sources
     from repro.network.scenario import SimulationSummary
-    from repro.network.traffic import SaturatedTraffic, make_node_sources
+    from repro.network.traffic import SaturatedTraffic
 
     nodes = lane.nodes
     params = csma_params
@@ -1093,8 +1124,9 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
     traffic_model = traffic
     if traffic_model is None:
         traffic_model = SaturatedTraffic(payload_bytes=payload_bytes)
-    sources = make_node_sources(
-        traffic_model, [node.node_id for node in nodes], streams)
+    sources = make_lane_sources(
+        traffic_model, [node.node_id for node in nodes], streams,
+        tree=lane.tree, hop_lag_s=interval)
 
     # ---- per-device link/corruption constants -----------------------------
     programmed_dbm = [profile.tx_level(level).level_dbm
@@ -1401,6 +1433,12 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
             phase_energy[phase] = float(np.sum(total))
 
     all_delays = [delay for per_device in delays for delay in per_device]
+    by_depth = None
+    if lane.tree is not None:
+        by_depth = depth_breakdown(
+            lane.tree, [node.node_id for node in nodes], attempted,
+            delivered, [sum(per_device) for per_device in delays],
+            energy, elapsed)
     return SimulationSummary(
         simulated_time_s=horizon,
         node_count=n,
@@ -1413,4 +1451,5 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
         mean_delivery_delay_s=(float(np.mean(all_delays))
                                if all_delays else None),
         energy_by_phase_j=phase_energy,
+        by_depth=by_depth,
     )

@@ -2,12 +2,24 @@
 
 Builds the dense microsensor network the paper studies: node placement
 around the base station, channel allocation over the sixteen 2450 MHz
-channels, periodic sensing traffic with buffering, and the assembly of all
-of it into a runnable packet-level simulation (for cross-validation of the
+channels, periodic sensing traffic with buffering, sink-tree routing with
+per-hop forwarding load (the NET layer), and the assembly of all of it
+into a runnable packet-level simulation (for cross-validation of the
 analytical model) or into analytical per-channel scenarios.
 """
 
-from repro.network.topology import NodePlacement, StarTopology, uniform_disc_placement
+from repro.network.topology import (TOPOLOGY_KINDS, ClusteredTopologyModel,
+                                    DiscTopologyModel, GridTopologyModel,
+                                    NetworkTopology, NodePlacement,
+                                    StarTopology, StarTopologyModel,
+                                    TopologyModel, build_topology_model,
+                                    clustered_placement, grid_placement,
+                                    uniform_disc_placement)
+from repro.network.routing import (ROUTING_KINDS, ForwardingLoad,
+                                   ForwardingSource, GradientRouting,
+                                   MinHopRouting, RoutingModel, SinkTree,
+                                   build_routing_model, depth_breakdown,
+                                   make_lane_sources)
 from repro.network.traffic import (BufferedTrafficSource, BurstyAlarmTraffic,
                                    MixedPopulation, PeriodicSensingTraffic,
                                    PoissonTraffic, SaturatedTraffic,
@@ -23,7 +35,27 @@ from repro.network.simulate import (ChannelSimTask, aggregate_channel_rows,
 __all__ = [
     "NodePlacement",
     "StarTopology",
+    "NetworkTopology",
+    "TopologyModel",
+    "StarTopologyModel",
+    "GridTopologyModel",
+    "DiscTopologyModel",
+    "ClusteredTopologyModel",
+    "TOPOLOGY_KINDS",
+    "build_topology_model",
     "uniform_disc_placement",
+    "grid_placement",
+    "clustered_placement",
+    "RoutingModel",
+    "GradientRouting",
+    "MinHopRouting",
+    "SinkTree",
+    "ForwardingLoad",
+    "ForwardingSource",
+    "ROUTING_KINDS",
+    "build_routing_model",
+    "depth_breakdown",
+    "make_lane_sources",
     "PeriodicSensingTraffic",
     "BufferedTrafficSource",
     "TrafficModel",

@@ -33,10 +33,12 @@ from repro.mac.medium import Medium
 from repro.mac.superframe import SuperframeConfig
 from repro.network.channel_allocation import ChannelAllocator
 from repro.network.node import SensorNode
+from repro.network.routing import (GradientRouting, RoutingModel, SinkTree,
+                                   depth_breakdown, make_lane_sources)
 from repro.network.traffic import (PeriodicSensingTraffic, SaturatedTraffic,
-                                   TrafficModel, TrafficSource,
-                                   make_node_sources)
-from repro.network.topology import StarTopology
+                                   TrafficModel, TrafficSource)
+from repro.network.topology import (NetworkTopology, StarTopology,
+                                    TopologyModel)
 from repro.phy.bands import Band, channels_in_band
 from repro.phy.error_model import EmpiricalBerModel, ErrorModel
 from repro.sim.engine import Environment
@@ -51,6 +53,11 @@ class SimulationSummary:
     delivered (e.g. a channel whose nodes are all out of range), so that
     downstream aggregation can skip the channel instead of propagating a
     ``NaN`` through report tables.
+
+    ``by_depth`` is the per-hop-depth breakdown of a routed channel
+    (:func:`repro.network.routing.depth_breakdown` — hop depth to node
+    count, packet counts, mean power and delay), and ``None`` for the
+    classic star path, keeping its summaries bit-identical.
     """
 
     simulated_time_s: float
@@ -63,6 +70,7 @@ class SimulationSummary:
     mean_node_power_w: float
     mean_delivery_delay_s: Optional[float]
     energy_by_phase_j: Dict[str, float]
+    by_depth: Optional[Dict[int, Dict]] = None
 
     @property
     def failure_probability(self) -> float:
@@ -100,6 +108,13 @@ class ChannelScenario:
         polled at every beacon by both kernels.  ``None`` (the default) is
         the paper's saturated assumption — one packet ready at every
         beacon.  The model's payload must equal ``payload_bytes``.
+    tree:
+        Sink tree of a routed channel
+        (:class:`repro.network.routing.SinkTree`).  ``None`` (the default)
+        is the classic star.  With a tree, relays offer forwarding-
+        augmented traffic (their descendants' replayed streams, lagged one
+        beacon interval per store-and-forward hop) and the summary carries
+        the per-hop-depth breakdown.
     """
 
     #: Simulation backends accepted by :meth:`run`.
@@ -110,11 +125,16 @@ class ChannelScenario:
                  payload_bytes: int = 120, seed: int = 0,
                  csma_params: Optional[CsmaParameters] = None,
                  default_tx_power_dbm: Optional[float] = None,
-                 traffic: Optional[TrafficModel] = None):
+                 traffic: Optional[TrafficModel] = None,
+                 tree: Optional[SinkTree] = None):
         if not nodes:
             raise ValueError("A channel scenario needs at least one node")
         if traffic is not None:
             traffic.require_payload(payload_bytes, "the channel")
+        if tree is not None and \
+                sorted(n.node_id for n in nodes) != tree.node_ids:
+            raise ValueError("The sink tree must span exactly the channel's "
+                             "nodes")
         self.nodes = list(nodes)
         self.config = config
         self.constants = constants
@@ -123,6 +143,7 @@ class ChannelScenario:
         self.csma_params = csma_params or CsmaParameters.from_mac_constants(constants)
         self.default_tx_power_dbm = default_tx_power_dbm
         self.traffic = traffic
+        self.tree = tree
 
     def resolved_tx_levels_dbm(self) -> List[float]:
         """The transmit level each node will use, aligned with ``nodes``.
@@ -158,12 +179,15 @@ class ChannelScenario:
                               streams: RandomStreams) -> List[TrafficSource]:
         """One per-node feed per node, aligned with ``nodes``.
 
-        Delegates to :func:`repro.network.traffic.make_node_sources`, the
-        one place both kernels' stream naming is defined.
+        Delegates to :func:`repro.network.routing.make_lane_sources`, the
+        one place both kernels' stream naming (and forwarding augmentation)
+        is defined; without a tree it reduces to
+        :func:`repro.network.traffic.make_node_sources` exactly.
         """
-        return make_node_sources(self.traffic_model(),
+        return make_lane_sources(self.traffic_model(),
                                  [node.node_id for node in self.nodes],
-                                 streams)
+                                 streams, tree=self.tree,
+                                 hop_lag_s=self.config.beacon_interval_s)
 
     def run(self, superframes: int = 10,
             backend: str = "event") -> SimulationSummary:
@@ -189,7 +213,8 @@ class ChannelScenario:
                 nodes=self.nodes, config=self.config,
                 tx_levels_dbm=tx_levels, constants=self.constants,
                 payload_bytes=self.payload_bytes, seed=self.seed,
-                csma_params=self.csma_params, traffic=self.traffic)
+                csma_params=self.csma_params, traffic=self.traffic,
+                tree=self.tree)
             return simulator.run(superframes=superframes)
         streams = RandomStreams(self.seed)
         sources = self.build_traffic_sources(streams)
@@ -238,6 +263,15 @@ class ChannelScenario:
         for device in devices:
             for phase, energy in device.radio.ledger.energy_by_phase().items():
                 energy_by_phase[phase] = energy_by_phase.get(phase, 0.0) + energy
+        by_depth = None
+        if self.tree is not None:
+            by_depth = depth_breakdown(
+                self.tree, [node.node_id for node in self.nodes],
+                [d.counters.get("packets_attempted") for d in devices],
+                [d.counters.get("packets_delivered") for d in devices],
+                [sum(d.delays.values) for d in devices],
+                [d.radio.ledger.total_energy_j for d in devices],
+                [d.radio.time_s for d in devices])
 
         return SimulationSummary(
             simulated_time_s=horizon,
@@ -250,6 +284,7 @@ class ChannelScenario:
             mean_node_power_w=float(np.mean(powers)) if powers else 0.0,
             mean_delivery_delay_s=float(np.mean(delays)) if delays else None,
             energy_by_phase_j=energy_by_phase,
+            by_depth=by_depth,
         )
 
 
@@ -280,6 +315,18 @@ class DenseNetworkScenario:
         (:class:`repro.network.traffic.TrafficModel`); ``None`` keeps the
         paper's saturated assumption.  Independent of ``traffic``, which is
         the periodic sensing *arithmetic* the analytical view consumes.
+    topology_model:
+        Node layout (:class:`repro.network.topology.TopologyModel`).
+        ``None`` or a non-geometric model keeps the paper's star draw:
+        path losses uniform in the configured bounds, no placement.  A
+        geometric model places each channel's population (its own
+        ``scenario.topology[<channel>]`` stream) and derives every node's
+        path loss from its *parent link* in the routing tree.
+    routing_model:
+        Sink-tree discipline (:class:`repro.network.routing.RoutingModel`)
+        for geometric topologies; ``None`` defaults to single-hop gradient
+        routing (every node on a direct sink link).  Tie-breaking draws
+        from per-channel ``scenario.routing[<channel>]`` streams.
     """
 
     total_nodes: int = 1600
@@ -293,6 +340,8 @@ class DenseNetworkScenario:
     error_model: ErrorModel = field(default_factory=EmpiricalBerModel)
     tx_power_dbm: float = 0.0
     traffic_model: Optional[TrafficModel] = None
+    topology_model: Optional[TopologyModel] = None
+    routing_model: Optional[RoutingModel] = None
 
     def __post_init__(self):
         if self.total_nodes < 1:
@@ -302,6 +351,13 @@ class DenseNetworkScenario:
         self._streams = RandomStreams(self.seed)
         self._nodes: Optional[List[SensorNode]] = None
         self._allocator: Optional[ChannelAllocator] = None
+        self._networks: Dict[int, NetworkTopology] = {}
+        self._trees: Dict[int, SinkTree] = {}
+
+    @property
+    def is_geometric(self) -> bool:
+        """Whether node path losses derive from placements (vs the star draw)."""
+        return self.topology_model is not None and self.topology_model.geometric
 
     # -- population ------------------------------------------------------------------
     @property
@@ -310,26 +366,64 @@ class DenseNetworkScenario:
         return self.total_nodes // len(self.channels)
 
     def build_nodes(self) -> List[SensorNode]:
-        """Create the node population with channels and path losses assigned."""
+        """Create the node population with channels and path losses assigned.
+
+        The star path draws each node's sink loss from the uniform bounds
+        (the paper's abstraction); a geometric topology instead places each
+        channel's population, routes it, and assigns every node the median
+        loss of its *parent link* — the loss its transmissions must close,
+        which is what channel-inversion adaptation and the AWGN link model
+        act on.
+        """
         if self._nodes is not None:
             return self._nodes
-        rng = self._streams.get("scenario.pathloss")
         node_ids = list(range(1, self.total_nodes + 1))
         self._allocator = ChannelAllocator(list(self.channels))
         assignment = self._allocator.allocate_round_robin(node_ids)
-        losses = rng.uniform(self.path_loss_low_db, self.path_loss_high_db,
-                             size=self.total_nodes)
+        if not self.is_geometric:
+            rng = self._streams.get("scenario.pathloss")
+            losses = rng.uniform(self.path_loss_low_db,
+                                 self.path_loss_high_db,
+                                 size=self.total_nodes)
+            loss_of = {node_id: float(losses[index])
+                       for index, node_id in enumerate(node_ids)}
+        else:
+            routing = self.routing_model or GradientRouting(max_hops=1)
+            loss_of = {}
+            for channel in self.channels:
+                ids = [n for n in node_ids if assignment[n] == channel]
+                if not ids:
+                    continue
+                network = self.topology_model.build_network(
+                    ids, rng=self._streams.get(
+                        f"scenario.topology[{channel}]"))
+                tree = routing.build_tree(
+                    network, rng=self._streams.get(
+                        f"scenario.routing[{channel}]"))
+                self._networks[channel] = network
+                self._trees[channel] = tree
+                loss_of.update(tree.link_loss_db)
         self._nodes = [
             SensorNode(
                 node_id=node_id,
                 channel=assignment[node_id],
-                path_loss_db=float(losses[index]),
+                path_loss_db=loss_of[node_id],
                 traffic=self.traffic,
                 error_model=self.error_model,
             )
-            for index, node_id in enumerate(node_ids)
+            for node_id in node_ids
         ]
         return self._nodes
+
+    def network_topology(self, channel: int) -> Optional[NetworkTopology]:
+        """The placement/connectivity view of ``channel`` (geometric only)."""
+        self.build_nodes()
+        return self._networks.get(channel)
+
+    def sink_tree(self, channel: int) -> Optional[SinkTree]:
+        """The routing tree of ``channel``, or ``None`` for the star draw."""
+        self.build_nodes()
+        return self._trees.get(channel)
 
     def topology(self) -> StarTopology:
         """The star topology (path-loss view) of the whole population."""
@@ -375,7 +469,12 @@ class DenseNetworkScenario:
         nodes = self.nodes_on_channel(channel)
         if not nodes:
             raise ValueError(f"No nodes are assigned to channel {channel}")
-        if max_nodes is not None:
+        tree = self.sink_tree(channel)
+        if max_nodes is not None and len(nodes) > max_nodes:
+            if tree is not None:
+                raise ValueError(
+                    "max_nodes cannot truncate a routed channel: the sink "
+                    "tree spans the full population")
             nodes = nodes[:max_nodes]
         return ChannelScenario(
             nodes=nodes,
@@ -386,4 +485,5 @@ class DenseNetworkScenario:
             csma_params=csma_params,
             default_tx_power_dbm=self.tx_power_dbm,
             traffic=self.traffic_model,
+            tree=tree,
         )

@@ -93,7 +93,11 @@ def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
     spec = task.spec
     scenario = spec.build_seeded(task.placement_seed)
     nodes = scenario.nodes_on_channel(task.channel)
-    if task.max_nodes is not None:
+    tree = scenario.sink_tree(task.channel)
+    if task.max_nodes is not None and len(nodes) > task.max_nodes:
+        if tree is not None:
+            raise ValueError("max_nodes cannot truncate a routed channel: "
+                             "the sink tree spans the full population")
         nodes = nodes[:task.max_nodes]
     if spec.tx_policy == TX_POLICY_ADAPTIVE:
         frame_bytes = spec.payload_bytes + _overhead_bytes()
@@ -111,7 +115,8 @@ def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
         seed=task.sim_seed,
         csma_params=spec.csma_parameters(),
         default_tx_power_dbm=spec.tx_power_dbm,
-        traffic=spec.traffic)
+        traffic=spec.traffic,
+        tree=tree)
     backend = task.backend or spec.backend
     summary = channel_scenario.run(superframes=task.superframes,
                                    backend=backend)
@@ -134,6 +139,11 @@ def _summary_row(channel: int, summary,
         "mean_delivery_delay_s": summary.mean_delivery_delay_s,
         "energy_by_phase_j": dict(summary.energy_by_phase_j),
     }
+    if summary.by_depth is not None:
+        # Conditional key: star rows (and their cache artifacts / exports)
+        # stay byte-identical to the pre-routing stack.
+        row["by_depth"] = {depth: dict(bucket)
+                           for depth, bucket in summary.by_depth.items()}
     if replication is not None:
         row["replication"] = replication
     return row
@@ -218,7 +228,13 @@ def _channel_lanes(spec: ScenarioSpec, scenario, seed: int,
     tags = []
     for channel, channel_seed in zip(spec.channels, channel_seeds):
         nodes = scenario.nodes_on_channel(channel)
-        if max_nodes_per_channel is not None:
+        tree = scenario.sink_tree(channel)
+        if max_nodes_per_channel is not None \
+                and len(nodes) > max_nodes_per_channel:
+            if tree is not None:
+                raise ValueError("max_nodes cannot truncate a routed "
+                                 "channel: the sink tree spans the full "
+                                 "population")
             nodes = nodes[:max_nodes_per_channel]
         if spec.tx_policy == TX_POLICY_ADAPTIVE:
             frame_bytes = spec.payload_bytes + _overhead_bytes()
@@ -236,12 +252,13 @@ def _channel_lanes(spec: ScenarioSpec, scenario, seed: int,
             seed=channel_seed,
             csma_params=spec.csma_parameters(),
             default_tx_power_dbm=spec.tx_power_dbm,
-            traffic=spec.traffic)
+            traffic=spec.traffic,
+            tree=tree)
         tx_levels = channel_scenario.resolved_tx_levels_dbm()
         for replication, lane_seed in enumerate(
                 replication_seeds(channel_seed, replications)):
             lanes.append(ChannelLane(nodes=nodes, tx_levels_dbm=tx_levels,
-                                     seed=lane_seed))
+                                     seed=lane_seed, tree=tree))
             tags.append((channel,
                          replication if replications > 1 else None))
     return lanes, tags
@@ -331,7 +348,7 @@ def aggregate_channel_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
     for row in rows:
         for phase, value in row["energy_by_phase_j"].items():
             energy[phase] = energy.get(phase, 0.0) + value
-    return {
+    result = {
         "channels": len(rows),
         "nodes": node_count,
         "packets_attempted": attempted,
@@ -344,3 +361,52 @@ def aggregate_channel_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
         "mean_delivery_delay_s": delay,
         "energy_by_phase_j": energy,
     }
+    by_depth = _merge_depth_breakdowns(rows)
+    if by_depth is not None:
+        result["by_depth"] = by_depth
+    return result
+
+
+def _merge_depth_breakdowns(
+        rows: List[Dict[str, Any]]) -> Optional[Dict[int, Dict[str, Any]]]:
+    """Network-wide per-hop-depth totals of routed rows (``None`` if none).
+
+    Depth keys tolerate the string form JSON cache round-trips produce
+    (:func:`repro.runner.drivers.jsonify` stringifies dict keys); the merge
+    mirrors :func:`aggregate_channel_rows` — power weighted by nodes, delay
+    by delivered packets, physical nodes counted on replication-0 rows only.
+    """
+    merged: Dict[int, Dict[str, float]] = {}
+    for row in rows:
+        for depth_key, bucket in (row.get("by_depth") or {}).items():
+            depth = int(depth_key)
+            entry = merged.setdefault(depth, {
+                "nodes": 0, "packets_attempted": 0, "packets_delivered": 0,
+                "_power_weighted": 0.0, "_power_weight": 0,
+                "_delay_weighted": 0.0})
+            if row.get("replication", 0) == 0:
+                entry["nodes"] += bucket["nodes"]
+            entry["packets_attempted"] += bucket["packets_attempted"]
+            entry["packets_delivered"] += bucket["packets_delivered"]
+            entry["_power_weighted"] += bucket["mean_power_uw"] \
+                * bucket["nodes"]
+            entry["_power_weight"] += bucket["nodes"]
+            if bucket["mean_delivery_delay_s"] is not None:
+                entry["_delay_weighted"] += bucket["mean_delivery_delay_s"] \
+                    * bucket["packets_delivered"]
+    if not merged:
+        return None
+    result: Dict[int, Dict[str, Any]] = {}
+    for depth in sorted(merged):
+        entry = merged[depth]
+        delivered = entry["packets_delivered"]
+        result[depth] = {
+            "nodes": int(entry["nodes"]),
+            "packets_attempted": int(entry["packets_attempted"]),
+            "packets_delivered": int(delivered),
+            "mean_power_uw":
+                entry["_power_weighted"] / max(entry["_power_weight"], 1),
+            "mean_delivery_delay_s":
+                entry["_delay_weighted"] / delivered if delivered else None,
+        }
+    return result

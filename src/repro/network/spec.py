@@ -24,11 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from repro.mac.constants import MAC_2450MHZ, MacConstants
 from repro.mac.csma import CsmaParameters
 from repro.mac.superframe import SuperframeConfig
+from repro.network.geometry import (lowest_sufficient_levels,
+                                    rx_power_threshold_dbm)
+from repro.network.routing import RoutingModel
+from repro.network.topology import TopologyModel
 from repro.network.traffic import (PeriodicSensingTraffic, SaturatedTraffic,
                                    TrafficModel)
 from repro.phy.bands import Band, CHANNEL_PAGES, channels_in_band
@@ -68,8 +70,21 @@ class ScenarioSpec:
         default — is the paper's saturated assumption: one packet ready at
         every beacon.  Any configured model must carry the spec's
         ``payload_bytes``.
+    topology:
+        Node layout per channel
+        (:class:`repro.network.topology.TopologyModel`).  ``None`` — the
+        default — and :class:`repro.network.topology.StarTopologyModel`
+        both keep the paper's star: path losses drawn directly from the
+        uniform bounds below, no geometry.  A geometric model (grid /
+        disc / cluster) places nodes instead and derives every loss from
+        the placement.
+    routing:
+        Sink-tree discipline (:class:`repro.network.routing.RoutingModel`)
+        applied to a geometric topology.  ``None`` or ``max_hops`` of 1
+        keeps every node on a direct sink link; deeper trees add relay
+        forwarding load.  Requires a geometric topology when multi-hop.
     path_loss_low_db / path_loss_high_db:
-        Uniform path-loss population bounds.
+        Uniform path-loss population bounds (star topologies only).
     tx_policy / tx_power_dbm / target_packet_error:
         ``"fixed"`` transmits at ``tx_power_dbm`` everywhere; ``"adaptive"``
         assigns each node the lowest programmable level whose packet-error
@@ -100,6 +115,8 @@ class ScenarioSpec:
     sample_bytes: int = 1
     sampling_interval_s: float = 8e-3
     traffic: Optional[TrafficModel] = None
+    topology: Optional[TopologyModel] = None
+    routing: Optional[RoutingModel] = None
     path_loss_low_db: float = 55.0
     path_loss_high_db: float = 95.0
     tx_policy: str = TX_POLICY_ADAPTIVE
@@ -134,6 +151,12 @@ class ScenarioSpec:
             raise ValueError("path_loss_high_db must be >= path_loss_low_db")
         if self.traffic is not None:
             self.traffic.require_payload(self.payload_bytes, "the spec")
+        if self.routing is not None and self.routing.max_hops > 1 and \
+                (self.topology is None or not self.topology.geometric):
+            raise ValueError(
+                "Multi-hop routing needs a geometric topology (grid, disc "
+                "or cluster); the star has no node-to-node links to relay "
+                "over")
 
     # -- derived structure --------------------------------------------------------
     @property
@@ -213,6 +236,8 @@ class ScenarioSpec:
             seed=placement_seed,
             tx_power_dbm=self.tx_power_dbm,
             traffic_model=self.traffic,
+            topology_model=self.topology,
+            routing_model=self.routing,
         )
 
 
@@ -230,37 +255,14 @@ def adaptive_tx_levels(path_losses_db, payload_on_air_bytes: int,
 
     The packet-error constraint is reduced to a received-power threshold by
     bisection (the BER model is monotone in received power), so the per-node
-    work is a single vectorised comparison.
+    work is a single vectorised comparison — both steps shared with the
+    topology layer through :mod:`repro.network.geometry`.
     """
-    from repro.phy.error_model import EmpiricalBerModel, packet_error_probability
-
-    model = error_model if error_model is not None else EmpiricalBerModel()
-
-    def per_at(rx_dbm: float) -> float:
-        if rx_dbm < sensitivity_dbm:
-            return 1.0
-        return packet_error_probability(
-            model.bit_error_probability(rx_dbm), payload_on_air_bytes)
-
-    low, high = sensitivity_dbm, 0.0
-    if per_at(high) > target_packet_error:  # pragma: no cover - degenerate model
-        high = 20.0
-    for _ in range(60):
-        mid = 0.5 * (low + high)
-        if per_at(mid) <= target_packet_error:
-            high = mid
-        else:
-            low = mid
-    rx_threshold_dbm = high
-
-    losses = np.asarray(path_losses_db, dtype=float)
-    levels = np.asarray(profile.tx_level_dbms())
-    required = losses + rx_threshold_dbm
-    # Index of the first level meeting the requirement; out-of-range nodes
-    # (requirement above the maximum) use the maximum level.
-    indices = np.searchsorted(levels, required - 1e-9)
-    indices = np.minimum(indices, len(levels) - 1)
-    return [float(levels[i]) for i in indices]
+    rx_threshold = rx_power_threshold_dbm(
+        payload_on_air_bytes, target_packet_error=target_packet_error,
+        sensitivity_dbm=sensitivity_dbm, error_model=error_model)
+    return lowest_sufficient_levels(path_losses_db, rx_threshold,
+                                    profile.tx_level_dbms())
 
 
 #: The paper's Section 5 workload: 1600 nodes over the sixteen 2450 MHz

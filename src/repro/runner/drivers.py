@@ -27,6 +27,8 @@ from repro.contention.tables import ContentionTable, build_contention_table
 from repro.core.energy_model import EnergyModel
 from repro.experiments.common import TABLE_LOADS, TABLE_SIZES
 from repro.mac.frames import total_packet_overhead_bytes
+from repro.network.routing import ROUTING_KINDS
+from repro.network.topology import TOPOLOGY_KINDS
 from repro.network.traffic import TRAFFIC_MODEL_KINDS
 from repro.runner.cache import code_version
 from repro.runner.params import ParamSpec
@@ -317,6 +319,9 @@ def run_case_study_full(params: Mapping[str, Any],
         traffic_model=params["traffic_model"],
         traffic_rate_scale=params["traffic_rate_scale"],
         traffic_mix=params["traffic_mix"],
+        topology=params["topology"],
+        routing=params["routing"],
+        max_hops=params["max_hops"],
         replications=params["replications"],
         seed=context.seed,
         executor=context.executor)
@@ -554,6 +559,22 @@ def build_default_registry() -> ExperimentRegistry:
                       doc="bursty-alarm node fraction of the 'mixed' "
                           "traffic population (the rest sense "
                           "periodically)"),
+            ParamSpec("topology", "str", "star",
+                      choices=TOPOLOGY_KINDS,
+                      doc="per-channel node layout: the paper's star "
+                          "(direct path-loss draw) or a geometric "
+                          "placement (grid lattice, uniform disc, "
+                          "clustered) whose losses derive from geometry"),
+            ParamSpec("routing", "str", "gradient",
+                      choices=ROUTING_KINDS,
+                      doc="sink-tree discipline over a geometric "
+                          "topology: gradient (min hops, then min "
+                          "cumulative loss) or min_hop (seeded "
+                          "tie-breaking)"),
+            ParamSpec("max_hops", "int", 1, minimum=1, maximum=8,
+                      doc="hop-depth cap of the routing tree (1: every "
+                          "node on a direct sink link; needs a geometric "
+                          "topology when above 1)"),
         ],
         output_names=("channel", "nodes", "packets_attempted",
                       "packets_delivered", "channel_access_failures",

@@ -54,6 +54,23 @@ def spawn_seeds(master_seed: Optional[int], name: str, count: int) -> "list[int]
             for child in seed_seq.spawn(count)]
 
 
+def stream_replica(master_seed: Optional[int],
+                   name: str) -> np.random.Generator:
+    """A fresh generator replaying the named stream from its initial state.
+
+    Seeded exactly like ``RandomStreams(master_seed).get(name)`` but never
+    cached: every call starts a new generator at variate zero.  This is how
+    multi-hop forwarding replays a descendant's ``traffic[<id>]`` arrival
+    process at its relay — the relay's replica produces the identical
+    variate sequence while the descendant's own (cached) stream advances
+    independently.
+    """
+    entropy = _name_to_entropy(name)
+    seed_seq = np.random.SeedSequence(entropy=master_seed,
+                                      spawn_key=(entropy,))
+    return np.random.default_rng(seed_seq)
+
+
 class RandomStreams:
     """A family of independently seeded :class:`numpy.random.Generator`.
 

@@ -1,6 +1,6 @@
 """Catalogue of the registered headline sweeps.
 
-Four design-space explorations over the full-scale packet-level simulator
+Five design-space explorations over the full-scale packet-level simulator
 (``case_study_full``), each capturing one axis of the paper's Section 5/6
 trade-off story:
 
@@ -12,7 +12,11 @@ trade-off story:
 * ``traffic_mix`` — heterogeneous workloads: every registered traffic
   model (saturated, periodic, poisson, bursty, mixed) across offered-load
   scales, opening the axis the paper's one-packet-per-superframe
-  assumption keeps fixed.
+  assumption keeps fixed;
+* ``topology_depth`` — the multi-hop axis: grid-placed nodes routed over
+  a sink tree at increasing hop-depth caps, measuring how forwarding
+  load concentrates on the first-hop relays (the energy hole) as the
+  tree deepens.
 
 Every sweep has a *quick* variant (``get_sweep(name, quick=True)``) that
 shrinks the population, channel count and horizon so CI can smoke the whole
@@ -137,6 +141,26 @@ def _traffic_mix(quick: bool) -> SweepSpec:
               "model across offered-load scales at full scale")
 
 
+def _topology_depth(quick: bool) -> SweepSpec:
+    if quick:
+        # CI smoke: one grid channel, 32 nodes (the 12 m lattice puts 8 in
+        # ring 1, 16 in ring 2, 8 in ring 3 — so every hop cap below is a
+        # distinct tree), periodic traffic so forwarding load matters.
+        axes = {"max_hops": GridAxis((1, 2, 3))}
+        base = {"topology": "grid", "total_nodes": 32, "num_channels": 1,
+                "superframes": 4, "traffic_model": "periodic",
+                "traffic_rate_scale": 0.5}
+    else:
+        axes = {"max_hops": GridAxis((1, 2, 3, 4)),
+                "traffic_model": GridAxis(("periodic", "poisson", "bursty"))}
+        base = {"topology": "grid"}
+    return SweepSpec(
+        name="topology_depth", experiment="case_study_full", axes=axes,
+        base_params=base, objectives=TRADEOFF_OBJECTIVES,
+        title="Sink-tree hop-depth cap over the grid topology: energy-hole "
+              "formation vs routing depth")
+
+
 _DEFINITIONS: Dict[str, SweepDefinition] = {
     definition.name: definition for definition in (
         SweepDefinition("node_density",
@@ -152,6 +176,10 @@ _DEFINITIONS: Dict[str, SweepDefinition] = {
                         "heterogeneous-traffic sweep of the full-scale "
                         "case study",
                         _traffic_mix),
+        SweepDefinition("topology_depth",
+                        "multi-hop sink-tree depth sweep over the grid "
+                        "topology",
+                        _topology_depth),
     )
 }
 

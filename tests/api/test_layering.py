@@ -28,6 +28,19 @@ def test_importing_the_runner_pulls_in_no_upper_layer():
     assert completed.returncode == 0, completed.stderr
 
 
+def test_importing_the_routing_layer_pulls_in_no_upper_layer():
+    """The NET layer (topology + routing) sits below the runner: it may
+    import the MAC, traffic and RNG substrate, never the orchestration
+    layers above it.  CI runs the same assertion as a standalone step."""
+    completed = _run(
+        "import sys; import repro.network.routing, repro.network.topology; "
+        "offenders = sorted(m for m in sys.modules "
+        "if m.startswith(('repro.runner', 'repro.api', 'repro.sweep', "
+        "'repro.bench'))); "
+        "assert not offenders, offenders")
+    assert completed.returncode == 0, completed.stderr
+
+
 def test_importing_the_facade_is_self_contained_and_runs(tmp_path):
     """The documented entry point works from a cold interpreter."""
     completed = _run(

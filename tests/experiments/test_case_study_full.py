@@ -156,3 +156,62 @@ class TestTrafficParameters:
         failure = rows["transaction failure probability"]
         assert failure["paper_value"] is None
         assert failure["within_tolerance"] is None
+
+
+#: Scaled-down multi-hop parameters (one grid channel, two rings).
+MULTIHOP = {"total_nodes": 24, "num_channels": 1, "superframes": 3,
+            "beacon_order": 3, "topology": "grid", "max_hops": 2,
+            "traffic_model": "periodic", "traffic_rate_scale": 0.5}
+
+
+class TestTopologyParameters:
+    """The multi-hop NET axis of the full-scale experiment."""
+
+    def test_default_topology_is_the_paper_star(self):
+        from repro.runner.registry import default_registry
+
+        schema = default_registry().get("case_study_full").schema
+        assert schema["topology"].default == "star"
+        assert "grid" in schema["topology"].choices
+        assert schema["routing"].default == "gradient"
+        assert schema["max_hops"].default == 1
+
+    def test_star_with_multiple_hops_rejected(self):
+        with pytest.raises(ValueError, match="no node-to-node links"):
+            run_full_case_study(total_nodes=12, num_channels=1,
+                                superframes=2, topology="star", max_hops=2)
+
+    def test_routed_run_reports_the_energy_hole(self):
+        run = run_experiment("case_study_full", params=MULTIHOP,
+                             cache=False, seed=7)
+        by_depth = run.payload["aggregate"]["by_depth"]
+        assert sorted(int(k) for k in by_depth) == [1, 2]
+        rows = {row["quantity"]: row for row in run.payload["report"]["rows"]}
+        ratio = rows["energy-hole power ratio (hop 1 / deepest hop)"]
+        assert ratio["measured_value"] > 1.0
+
+    def test_topology_params_are_cache_key_relevant(self):
+        flat = run_experiment("case_study_full",
+                              params=dict(MULTIHOP, max_hops=1),
+                              cache=False, seed=7)
+        routed = run_experiment("case_study_full", params=MULTIHOP,
+                                cache=False, seed=7)
+        assert flat.cache_key != routed.cache_key
+
+    def test_routed_payload_survives_a_json_round_trip(self):
+        """by_depth's integer keys stringify in cache artifacts; the
+        aggregate and report must already be JSON-clean."""
+        import json
+
+        run = run_experiment("case_study_full", params=MULTIHOP,
+                             cache=False, seed=7)
+        replay = json.loads(json.dumps(run.payload))
+        assert replay == json.loads(json.dumps(replay))
+
+    def test_serial_and_parallel_routed_rows_identical(self):
+        params = dict(MULTIHOP, num_channels=2, total_nodes=32)
+        serial = run_experiment("case_study_full", params=params,
+                                cache=False, seed=7)
+        parallel = run_experiment("case_study_full", params=params,
+                                  cache=False, jobs=2, seed=7)
+        assert parallel.rows == serial.rows

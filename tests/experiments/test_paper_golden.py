@@ -63,6 +63,21 @@ GOLDEN_BATCHED_FAILURE = 0.1932
 GOLDEN_BATCHED_DELIVERED = 64544
 GOLDEN_BATCHED_ACCESS_FAILURES = 14275
 
+#: Golden values of the multi-hop energy hole: a 24-node grid channel
+#: routed over a 2-hop gradient sink tree (periodic traffic at half the
+#: paper's rate, seed 7).  The eight first-ring relays forward the outer
+#: ring's packets, so their average power sits well above the leaves' —
+#: the gradient the single-hop paper setting cannot exhibit.
+MULTIHOP_PARAMS = {"topology": "grid", "max_hops": 2, "total_nodes": 24,
+                   "num_channels": 1, "superframes": 6,
+                   "traffic_model": "periodic", "traffic_rate_scale": 0.5}
+MULTIHOP_SEED = 7
+GOLDEN_MULTIHOP_ATTEMPTED = 96
+GOLDEN_MULTIHOP_DELIVERED = 95
+GOLDEN_MULTIHOP_POWER_UW = 136.29294202293164
+GOLDEN_MULTIHOP_RELAY_POWER_UW = 190.01214568389145   # hop 1 (8 relays)
+GOLDEN_MULTIHOP_LEAF_POWER_UW = 109.43334019245174    # hop 2 (16 leaves)
+
 #: Drift tolerance of the golden pins: loose enough for cross-platform
 #: libm noise, tight enough that any change in RNG consumption, grid
 #: layout or model arithmetic (all >= 1e-4 relative) trips the net.
@@ -317,3 +332,85 @@ class TestBatchedHeadlineGolden:
         assert headline.payload["report"]["all_within_tolerance"], (
             "The batched backend's full-scale report flags a paper "
             "comparison outside its tolerance band.")
+
+
+class TestStarProjectionGolden:
+    """The topology axis must not move the paper's numbers: an explicit
+    star topology model (and a relay-free routed grid) reproduce the
+    untouched star path bit-for-bit on every kernel."""
+
+    def test_star_topology_model_is_the_identity(self):
+        from repro.network.simulate import simulate_network
+        from repro.network.spec import ScenarioSpec
+        from repro.network.topology import StarTopologyModel
+
+        base = dict(total_nodes=12, num_channels=2, beacon_order=3)
+        for backend in ("vectorized", "batched", "event"):
+            plain = simulate_network(ScenarioSpec(**base), superframes=4,
+                                     seed=3, backend=backend)
+            starred = simulate_network(
+                ScenarioSpec(**base, topology=StarTopologyModel()),
+                superframes=4, seed=3, backend=backend)
+            assert starred == plain, (
+                f"The explicit star topology model perturbed the {backend} "
+                f"kernel's rows — the paper's single-hop setting must stay "
+                f"bit-for-bit identical under the topology axis.")
+
+
+class TestMultiHopEnergyHoleGolden:
+    """Golden pins of the multi-hop NET layer: the energy-hole gradient.
+
+    A 2-hop gradient tree over the 24-node grid concentrates forwarding
+    on the eight first-ring relays; their pinned average power must stay
+    ~1.7x the outer leaves'.  All three kernels are bound to the pins, so
+    any drift in tree construction, stream replay or forwarding-source
+    draining fails here by kernel name.
+    """
+
+    @pytest.fixture(scope="class", params=["batched", "vectorized", "event"])
+    def multihop(self, request):
+        run = run_experiment(
+            "case_study_full",
+            params=dict(MULTIHOP_PARAMS, backend=request.param),
+            cache=False, seed=MULTIHOP_SEED)
+        return request.param, run.payload["aggregate"]
+
+    def test_packet_counts_golden_pin(self, multihop):
+        backend, aggregate = multihop
+        observed = (aggregate["packets_attempted"],
+                    aggregate["packets_delivered"])
+        assert observed == (GOLDEN_MULTIHOP_ATTEMPTED,
+                            GOLDEN_MULTIHOP_DELIVERED), (
+            f"The {backend} kernel's multi-hop packet counts drifted: "
+            f"(attempted, delivered) {observed} != pinned "
+            f"({GOLDEN_MULTIHOP_ATTEMPTED}, {GOLDEN_MULTIHOP_DELIVERED}) — "
+            f"forwarding-augmented traffic no longer replays the pinned "
+            f"arrival processes.")
+
+    def test_mean_power_golden_pin(self, multihop):
+        backend, aggregate = multihop
+        power = aggregate["mean_power_uw"]
+        assert power == pytest.approx(GOLDEN_MULTIHOP_POWER_UW, rel=DRIFT), (
+            f"The {backend} kernel's multi-hop mean power drifted from the "
+            f"pinned {GOLDEN_MULTIHOP_POWER_UW:.6f} uW to {power:.6f} uW.")
+
+    def test_energy_hole_gradient_golden_pin(self, multihop):
+        backend, aggregate = multihop
+        by_depth = {int(k): v for k, v in aggregate["by_depth"].items()}
+        assert sorted(by_depth) == [1, 2]
+        assert by_depth[1]["nodes"] == 8 and by_depth[2]["nodes"] == 16
+        relay = by_depth[1]["mean_power_uw"]
+        leaf = by_depth[2]["mean_power_uw"]
+        assert relay == pytest.approx(GOLDEN_MULTIHOP_RELAY_POWER_UW,
+                                      rel=DRIFT), (
+            f"The {backend} kernel's hop-1 relay power drifted from the "
+            f"pinned {GOLDEN_MULTIHOP_RELAY_POWER_UW:.6f} uW to "
+            f"{relay:.6f} uW.")
+        assert leaf == pytest.approx(GOLDEN_MULTIHOP_LEAF_POWER_UW,
+                                     rel=DRIFT), (
+            f"The {backend} kernel's hop-2 leaf power drifted from the "
+            f"pinned {GOLDEN_MULTIHOP_LEAF_POWER_UW:.6f} uW to "
+            f"{leaf:.6f} uW.")
+        assert relay > 1.5 * leaf, (
+            "The energy hole vanished: first-ring relays no longer burn "
+            "well above the leaves they forward for.")

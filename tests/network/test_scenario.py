@@ -131,3 +131,76 @@ class TestChannelScenario:
         assert summary.packets_delivered == 0
         assert summary.mean_delivery_delay_s is None
         assert summary.failure_probability == 1.0
+
+
+class TestRoutedScenario:
+    def build(self, max_hops=2, total_nodes=24, channels=(11,), seed=5):
+        from repro.network.routing import GradientRouting
+        from repro.network.topology import GridTopologyModel
+
+        return DenseNetworkScenario(
+            total_nodes=total_nodes, channels=list(channels), seed=seed,
+            topology_model=GridTopologyModel(),
+            routing_model=GradientRouting(max_hops=max_hops))
+
+    def test_geometric_scenario_exposes_network_and_tree(self):
+        scenario = self.build()
+        assert scenario.is_geometric
+        network = scenario.network_topology(11)
+        tree = scenario.sink_tree(11)
+        assert network.node_count == 24
+        assert tree.node_ids == network.node_ids
+        assert tree.max_depth == 2
+
+    def test_node_losses_are_parent_link_losses(self):
+        """Adaptive TX must close each node's parent link, not the sink
+        link — that is where the per-hop energy benefit comes from."""
+        scenario = self.build()
+        tree = scenario.sink_tree(11)
+        for node in scenario.build_nodes():
+            assert node.path_loss_db == tree.link_loss_db[node.node_id]
+
+    def test_star_scenario_has_no_tree(self):
+        scenario = DenseNetworkScenario(total_nodes=8, channels=[11], seed=5)
+        assert not scenario.is_geometric
+        assert scenario.sink_tree(11) is None
+        assert scenario.network_topology(11) is None
+
+    def test_channel_scenario_carries_the_tree(self):
+        scenario = self.build()
+        channel = scenario.channel_scenario(11)
+        assert channel.tree == scenario.sink_tree(11)
+
+    def test_channel_scenario_rejects_a_mismatched_tree(self):
+        scenario = self.build()
+        channel = scenario.channel_scenario(11)
+        with pytest.raises(ValueError, match="must span exactly"):
+            ChannelScenario(nodes=channel.nodes[:-1], config=channel.config,
+                            payload_bytes=channel.payload_bytes,
+                            seed=channel.seed, traffic=channel.traffic,
+                            tree=channel.tree)
+
+    def test_max_nodes_cannot_truncate_a_routed_channel(self):
+        scenario = self.build()
+        with pytest.raises(ValueError, match="truncate a routed channel"):
+            scenario.channel_scenario(11, max_nodes=10)
+
+    def test_geometric_channels_have_independent_layout_streams(self):
+        """Two channels of one scenario draw from per-channel topology and
+        routing streams: a disc layout differs across channels but is
+        reproducible across builds."""
+        from repro.network.routing import MinHopRouting
+        from repro.network.topology import DiscTopologyModel
+
+        def build():
+            return DenseNetworkScenario(
+                total_nodes=24, channels=[11, 12], seed=9,
+                topology_model=DiscTopologyModel(),
+                routing_model=MinHopRouting(max_hops=3))
+
+        first, second = build(), build()
+        for channel in (11, 12):
+            assert first.sink_tree(channel) == second.sink_tree(channel)
+        losses_11 = sorted(first.network_topology(11).sink_losses_db.values())
+        losses_12 = sorted(first.network_topology(12).sink_losses_db.values())
+        assert losses_11 != losses_12

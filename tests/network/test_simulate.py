@@ -118,3 +118,124 @@ class TestReplicatedNetworkRuns:
                                 backend="batched", replications=4)
         kept = [row for row in long if row["replication"] < 2]
         assert_rows_equal(kept, short)
+
+
+def routed_spec(max_hops=2, **overrides):
+    from repro.network.routing import GradientRouting
+    from repro.network.topology import GridTopologyModel
+
+    defaults = dict(total_nodes=12, num_channels=2, beacon_order=3,
+                    topology=GridTopologyModel(),
+                    routing=GradientRouting(max_hops=max_hops))
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestMultiHopRows:
+    def test_star_rows_have_no_by_depth_key(self):
+        """The star path must stay byte-identical: no new row key."""
+        for backend in ("vectorized", "batched", "event"):
+            rows = simulate_network(tiny_spec(), superframes=3, seed=4,
+                                    backend=backend)
+            assert all("by_depth" not in row for row in rows), backend
+
+    def test_routed_rows_carry_the_depth_breakdown(self):
+        rows = simulate_network(routed_spec(), superframes=3, seed=4,
+                                backend="batched")
+        for row in rows:
+            assert set(row["by_depth"]) == {1}  # 6-node channels: ring 1
+            bucket = row["by_depth"][1]
+            assert bucket["nodes"] == row["nodes"]
+            assert bucket["packets_attempted"] == row["packets_attempted"]
+            assert bucket["mean_power_uw"] == \
+                pytest.approx(row["mean_power_uw"])
+
+    def test_backends_agree_on_routed_channels(self):
+        """Multi-hop forwarding preserves the three-kernel equivalence:
+        identical counts, power to float-summation noise."""
+        spec = routed_spec(max_hops=2, total_nodes=24, num_channels=1)
+        results = {backend: simulate_network(spec, superframes=4, seed=7,
+                                             backend=backend)
+                   for backend in ("vectorized", "batched", "event")}
+        reference = results["vectorized"]
+        for backend, rows in results.items():
+            for row, ref in zip(rows, reference):
+                assert row["packets_attempted"] == ref["packets_attempted"]
+                assert row["packets_delivered"] == ref["packets_delivered"]
+                assert row["channel_access_failures"] == \
+                    ref["channel_access_failures"], backend
+                assert row["mean_power_uw"] == \
+                    pytest.approx(ref["mean_power_uw"], rel=1e-9)
+                assert sorted(row["by_depth"]) == sorted(ref["by_depth"])
+                for hop_depth, bucket in row["by_depth"].items():
+                    ref_bucket = ref["by_depth"][hop_depth]
+                    assert bucket["nodes"] == ref_bucket["nodes"]
+                    assert bucket["packets_delivered"] == \
+                        ref_bucket["packets_delivered"]
+                    assert bucket["mean_power_uw"] == \
+                        pytest.approx(ref_bucket["mean_power_uw"], rel=1e-9)
+
+    def test_max_nodes_cannot_truncate_a_routed_channel(self):
+        with pytest.raises(ValueError, match="truncate a routed channel"):
+            simulate_network(routed_spec(), superframes=3, seed=4,
+                             backend="vectorized", max_nodes_per_channel=3)
+
+    def test_replications_extend_routed_runs_too(self):
+        spec = routed_spec()
+        plain = simulate_network(spec, superframes=3, seed=4,
+                                 backend="batched")
+        replicated = simulate_network(spec, superframes=3, seed=4,
+                                      backend="batched", replications=3)
+        rep_zero = [dict(row) for row in replicated
+                    if row["replication"] == 0]
+        for row in rep_zero:
+            row.pop("replication")
+        assert_rows_equal(rep_zero, plain)
+
+
+class TestDepthAggregation:
+    def test_aggregate_merges_depth_buckets(self):
+        from repro.network.simulate import aggregate_channel_rows
+
+        spec = routed_spec(max_hops=2, total_nodes=24, num_channels=1)
+        rows = simulate_network(spec, superframes=4, seed=7,
+                                backend="batched")
+        aggregate = aggregate_channel_rows(rows)
+        by_depth = aggregate["by_depth"]
+        assert sorted(by_depth) == [1, 2]
+        assert sum(bucket["nodes"] for bucket in by_depth.values()) == \
+            aggregate["nodes"]
+        assert sum(bucket["packets_attempted"]
+                   for bucket in by_depth.values()) == \
+            aggregate["packets_attempted"]
+
+    def test_aggregate_tolerates_json_stringified_depth_keys(self):
+        """Cache artifacts stringify dict keys; a replayed row must merge
+        exactly like a fresh one."""
+        import json
+
+        from repro.network.simulate import aggregate_channel_rows
+
+        spec = routed_spec(max_hops=2, total_nodes=24, num_channels=1)
+        rows = simulate_network(spec, superframes=4, seed=7,
+                                backend="batched")
+        replayed = json.loads(json.dumps(rows))
+        assert aggregate_channel_rows(replayed) == \
+            aggregate_channel_rows(rows)
+
+    def test_replicated_aggregate_counts_nodes_once(self):
+        from repro.network.simulate import aggregate_channel_rows
+
+        spec = routed_spec()
+        rows = simulate_network(spec, superframes=3, seed=4,
+                                backend="batched", replications=3)
+        aggregate = aggregate_channel_rows(rows)
+        assert sum(b["nodes"] for b in aggregate["by_depth"].values()) == \
+            aggregate["nodes"] == spec.total_nodes
+
+    def test_star_aggregate_has_no_by_depth(self):
+        from repro.network.simulate import aggregate_channel_rows
+
+        rows = simulate_network(tiny_spec(), superframes=3, seed=4,
+                                backend="batched")
+        assert "by_depth" not in aggregate_channel_rows(rows)

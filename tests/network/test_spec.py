@@ -302,3 +302,36 @@ class TestAggregation:
         ]
         aggregate = aggregate_channel_rows(rows)
         assert aggregate["mean_delivery_delay_s"] == pytest.approx(0.25)
+
+
+class TestScenarioSpecTopology:
+    def test_multihop_routing_needs_a_geometric_topology(self):
+        from repro.network.routing import GradientRouting
+        from repro.network.topology import StarTopologyModel
+
+        with pytest.raises(ValueError, match="geometric topology"):
+            ScenarioSpec(routing=GradientRouting(max_hops=2))
+        with pytest.raises(ValueError, match="geometric topology"):
+            ScenarioSpec(topology=StarTopologyModel(),
+                         routing=GradientRouting(max_hops=2))
+
+    def test_single_hop_routing_is_valid_anywhere(self):
+        from repro.network.routing import GradientRouting
+        from repro.network.topology import GridTopologyModel
+
+        assert ScenarioSpec(routing=GradientRouting(max_hops=1)) \
+            .routing.max_hops == 1
+        assert ScenarioSpec(topology=GridTopologyModel(),
+                            routing=GradientRouting(max_hops=3)) \
+            .topology.kind == "grid"
+
+    def test_topology_and_routing_reach_the_built_scenario(self):
+        from repro.network.routing import GradientRouting
+        from repro.network.topology import GridTopologyModel
+
+        spec = ScenarioSpec(total_nodes=12, num_channels=2,
+                            topology=GridTopologyModel(),
+                            routing=GradientRouting(max_hops=2))
+        scenario = spec.build_seeded(5)
+        assert scenario.topology_model == spec.topology
+        assert scenario.routing_model == spec.routing

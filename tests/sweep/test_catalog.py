@@ -11,7 +11,8 @@ from repro.sweep.driver import expand_points
 
 class TestCatalogue:
     def test_headline_sweeps_registered(self):
-        assert sweep_names() == ("duty_cycle", "node_density", "traffic_mix",
+        assert sweep_names() == ("duty_cycle", "node_density",
+                                 "topology_depth", "traffic_mix",
                                  "tx_policy")
 
     def test_definitions_iterate_in_name_order(self):
@@ -80,3 +81,15 @@ class TestCatalogue:
         assert set(spec.axis_values()["traffic_model"]) == \
             set(TRAFFIC_MODEL_KINDS) - {"saturated"}
         assert 1.0 in spec.axis_values()["traffic_rate_scale"]
+
+    def test_topology_depth_sweeps_the_hop_cap_over_the_grid(self):
+        spec = get_sweep("topology_depth")
+        assert spec.base_params["topology"] == "grid"
+        assert spec.axis_values()["max_hops"] == sorted(
+            spec.axis_values()["max_hops"])
+        assert 1 in spec.axis_values()["max_hops"]
+        # The quick variant's 32-node grid fills three rings (8 + 16 + 8),
+        # so every swept hop cap yields a structurally different tree.
+        quick = get_sweep("topology_depth", quick=True)
+        assert quick.base_params["total_nodes"] == 32
+        assert max(quick.axis_values()["max_hops"]) == 3
