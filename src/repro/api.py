@@ -85,6 +85,13 @@ class Session:
     registry:
         Experiment registry to resolve names in; defaults to the full
         catalogue.
+    trace:
+        Path of a :mod:`repro.obs` trace artifact.  When set, every
+        :meth:`run` and :meth:`sweep` records spans into one session-wide
+        :class:`~repro.obs.Tracer` and the artifact at ``trace`` is
+        rewritten after each call, so it always reflects the session so
+        far.  Tracing never perturbs results (see
+        ``docs/observability.md``).
 
     Examples
     --------
@@ -99,12 +106,18 @@ class Session:
                  cache: Any = True,
                  jobs: int = 1,
                  seed: Optional[int] = DEFAULT_SEED,
-                 registry: Optional[ExperimentRegistry] = None):
+                 registry: Optional[ExperimentRegistry] = None,
+                 trace: Optional[Union[str, os.PathLike]] = None):
         self._cache_root = None if cache_dir is None else str(cache_dir)
         self._cache = resolve_cache(cache, self._cache_root)
         self._jobs = max(1, jobs)
         self._seed = seed
         self._registry = registry or default_registry()
+        self._trace_path = None if trace is None else str(trace)
+        self._tracer = None
+        if self._trace_path is not None:
+            from repro.obs import Tracer
+            self._tracer = Tracer(name="session")
 
     # -- introspection ------------------------------------------------------------
     @property
@@ -127,6 +140,11 @@ class Session:
     def registry(self) -> ExperimentRegistry:
         """The experiment registry this session resolves names in."""
         return self._registry
+
+    @property
+    def tracer(self):
+        """The session's :class:`repro.obs.Tracer` (``None`` untraced)."""
+        return self._tracer
 
     def experiments(self) -> List[ExperimentSpec]:
         """Every registered experiment, sorted by name.
@@ -161,11 +179,14 @@ class Session:
         ParameterValueError
             A value outside its parameter's domain.
         """
-        return run_experiment(
+        result = run_experiment(
             name, params=params,
             jobs=self._jobs if jobs is None else jobs,
             seed=self._seed if seed is _UNSET else seed,
-            cache=self._cache, registry=self._registry)
+            cache=self._cache, registry=self._registry,
+            tracer=self._tracer)
+        self._flush_trace()
+        return result
 
     def sweep(self, spec: Union[SweepSpec, str], *, quick: bool = False,
               jobs: Optional[int] = None) -> SweepRunResult:
@@ -176,9 +197,19 @@ class Session:
         from the session cache, so repeating a sweep recomputes nothing.
         """
         spec = self._resolve_sweep(spec, quick)
-        return run_sweep(spec, jobs=self._jobs if jobs is None else jobs,
-                         cache=self._cache, cache_root=self._cache_root,
-                         registry=spec.registry or self._registry)
+        result = run_sweep(spec, jobs=self._jobs if jobs is None else jobs,
+                           cache=self._cache, cache_root=self._cache_root,
+                           registry=spec.registry or self._registry,
+                           tracer=self._tracer)
+        self._flush_trace()
+        return result
+
+    def _flush_trace(self) -> None:
+        # Rewrite the artifact after every traced call so an interrupted
+        # session still leaves a valid, current trace on disk.
+        if self._tracer is not None:
+            from repro.obs import write_trace
+            write_trace(self._tracer, self._trace_path)
 
     def sweep_status(self, spec: Union[SweepSpec, str], *,
                      quick: bool = False):

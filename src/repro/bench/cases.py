@@ -47,8 +47,36 @@ def _timed_compat(fn: Callable[[], Any], repeats: int):
             os.environ[COMPAT_ENV] = previous
 
 
-def bench_vectorized_channel(quick: bool = False,
-                             repeats: int = 3) -> Dict[str, Any]:
+def _phase_breakdown(fn: Callable[[], Any],
+                     compat: bool = False) -> Dict[str, float]:
+    """Per-phase seconds of one instrumented run of ``fn``.
+
+    Runs once under a fresh :class:`repro.obs.Tracer` (timings are
+    diagnostic, not gated, so a single sample is enough); ``compat``
+    forces the pre-batching reference kernel the way :func:`_timed_compat`
+    does for the median timings.
+    """
+    from repro.mac.vectorized import COMPAT_ENV
+    from repro.obs import Tracer, activate, phase_durations
+
+    tracer = Tracer(name="bench")
+    previous = os.environ.get(COMPAT_ENV)
+    if compat:
+        os.environ[COMPAT_ENV] = "1"
+    try:
+        with activate(tracer):
+            fn()
+    finally:
+        if compat:
+            if previous is None:
+                os.environ.pop(COMPAT_ENV, None)
+            else:  # pragma: no cover - depends on caller's environment
+                os.environ[COMPAT_ENV] = previous
+    return phase_durations(tracer)
+
+
+def bench_vectorized_channel(quick: bool = False, repeats: int = 3,
+                             phases: bool = False) -> Dict[str, Any]:
     """Single dense channel: event kernel vs the vectorized fast path."""
     from repro.network.scenario import DenseNetworkScenario
 
@@ -69,16 +97,20 @@ def bench_vectorized_channel(quick: bool = False,
         "vectorized_vs_event": (timings["event"]["median_s"]
                                 / timings["vectorized"]["median_s"]),
     }
+    breakdown = None
+    if phases:
+        breakdown = {kernel: _phase_breakdown(lambda: run(kernel))
+                     for kernel in ("event", "vectorized")}
     return build_record(
         experiment="vectorized_channel",
         mode="quick" if quick else "full",
         params={"nodes": len(channel.nodes), "superframes": superframes,
                 "seed": BENCH_SEED},
-        timings_s=timings, speedup=speedup)
+        timings_s=timings, speedup=speedup, phases=breakdown)
 
 
-def bench_case_study_full(quick: bool = False,
-                          repeats: int = 3) -> Dict[str, Any]:
+def bench_case_study_full(quick: bool = False, repeats: int = 3,
+                          phases: bool = False) -> Dict[str, Any]:
     """Full Section 5 fan-out: batched vs per-channel vs reference kernels."""
     from repro.experiments.case_study_full import run_full_case_study
 
@@ -109,12 +141,19 @@ def bench_case_study_full(quick: bool = False,
         "batched_vs_vectorized": timings["vectorized"]["median_s"] / batched,
         "batched_vs_event": timings["event"]["median_s"] / batched,
     }
+    breakdown = None
+    if phases:
+        breakdown = {
+            kernel: _phase_breakdown(lambda: run(kernel.split("_")[0]),
+                                     compat=kernel == "vectorized_reference")
+            for kernel in ("event", "vectorized_reference", "vectorized",
+                           "batched")}
     return build_record(
         experiment="case_study_full",
         mode="quick" if quick else "full",
         params={"total_nodes": 1600, "superframes": superframes,
                 "nodes_per_channel_cap": cap, "seed": BENCH_SEED},
-        timings_s=timings, speedup=speedup)
+        timings_s=timings, speedup=speedup, phases=breakdown)
 
 
 #: Registry of benchmarkable experiments, in trajectory order.
@@ -124,8 +163,8 @@ BENCH_CASES: Dict[str, Callable[..., Dict[str, Any]]] = {
 }
 
 
-def run_bench_case(name: str, quick: bool = False,
-                   repeats: int = 3) -> Dict[str, Any]:
+def run_bench_case(name: str, quick: bool = False, repeats: int = 3,
+                   phases: bool = False) -> Dict[str, Any]:
     """Run one registered case and return its record."""
     try:
         case = BENCH_CASES[name]
@@ -133,4 +172,4 @@ def run_bench_case(name: str, quick: bool = False,
         raise ValueError(
             f"Unknown bench case {name!r}; "
             f"choose from {', '.join(sorted(BENCH_CASES))}") from None
-    return case(quick=quick, repeats=repeats)
+    return case(quick=quick, repeats=repeats, phases=phases)

@@ -59,6 +59,10 @@ def add_bench_parser(commands) -> None:
                         default=DEFAULT_TOLERANCE,
                         help="speedup regression tolerance for --check "
                              f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--phases", action="store_true",
+                        help="record a per-phase kernel breakdown (one "
+                             "instrumented run each, via repro.obs) in the "
+                             "record's optional 'phases' section")
 
 
 def command_bench(arguments: argparse.Namespace) -> int:
@@ -75,7 +79,8 @@ def command_bench(arguments: argparse.Namespace) -> int:
     problems = []
     for name in names:
         record = run_bench_case(name, quick=arguments.quick,
-                                repeats=arguments.repeats)
+                                repeats=arguments.repeats,
+                                phases=arguments.phases)
         path = write_record(record, bench_path(arguments.out, name,
                                                mode=record["mode"]))
         timing_bits = ", ".join(

@@ -21,6 +21,10 @@ provenance last) so that regenerating a baseline produces a minimal diff:
     ``{"<fast>_vs_<slow>": float}`` — wall-time ratios between kernels.
     Ratios, not absolute times, are what the CI gate compares: they are
     far more portable across machines than seconds.
+``phases`` (optional, ``--phases``)
+    ``{kernel: {phase: seconds}}`` — per-phase wall-clock breakdown of one
+    instrumented run per kernel, collected through :mod:`repro.obs`.
+    Diagnostic only: the CI gate never compares it.
 ``git_sha`` / ``machine``
     Provenance: the short commit hash and a host fingerprint (platform,
     python, numpy, CPU count).
@@ -90,12 +94,14 @@ def build_record(experiment: str, mode: str, params: Dict[str, Any],
                  timings_s: Dict[str, Dict[str, Any]],
                  speedup: Dict[str, float],
                  sha: Optional[str] = None,
-                 machine: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 machine: Optional[Dict[str, Any]] = None,
+                 phases: Optional[Dict[str, Dict[str, float]]] = None
+                 ) -> Dict[str, Any]:
     """Assemble a schema-ordered record from its parts."""
     if mode not in ("full", "quick"):
         raise ValueError(f"Unknown bench mode {mode!r}; "
                          f"choose 'full' or 'quick'")
-    return {
+    record = {
         "schema_version": SCHEMA_VERSION,
         "experiment": experiment,
         "mode": mode,
@@ -104,9 +110,16 @@ def build_record(experiment: str, mode: str, params: Dict[str, Any],
                                "runs": int(entry["runs"])}
                       for kernel, entry in timings_s.items()},
         "speedup": {key: float(value) for key, value in speedup.items()},
-        "git_sha": sha if sha is not None else git_sha(),
-        "machine": machine if machine is not None else machine_fingerprint(),
     }
+    if phases is not None:
+        record["phases"] = {
+            kernel: {phase: float(seconds)
+                     for phase, seconds in sorted(breakdown.items())}
+            for kernel, breakdown in phases.items()}
+    record["git_sha"] = sha if sha is not None else git_sha()
+    record["machine"] = (machine if machine is not None
+                         else machine_fingerprint())
+    return record
 
 
 def bench_path(out_dir, experiment: str, mode: str = "full") -> Path:

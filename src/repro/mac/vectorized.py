@@ -78,6 +78,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -88,6 +89,7 @@ from repro.mac.device import (PHASE_ACK, PHASE_BEACON, PHASE_CONTENTION,
                               PHASE_SLEEP, PHASE_TRANSMIT)
 from repro.mac.frames import AckFrame, BeaconFrame, DataFrame
 from repro.mac.superframe import SuperframeConfig
+from repro.obs.tracer import current_tracer
 from repro.radio.power_profile import (CC2420_PROFILE, RadioPowerProfile,
                                        T_SHUTDOWN_TO_IDLE_POLICY_S)
 from repro.radio.states import RadioState
@@ -341,6 +343,14 @@ class BatchedChannelSimulator:
         from repro.network.scenario import SimulationSummary
         from repro.network.traffic import SaturatedTraffic
 
+        # Telemetry: per-phase elapsed time accumulates in plain floats
+        # guarded on one ``tracer.enabled`` check — the round loop and the
+        # per-lane event merge allocate no span objects even when tracing —
+        # and the four kernel phases are emitted once at the end.
+        tracer = current_tracer()
+        tracing = tracer.enabled
+        t_setup = perf_counter() if tracing else 0.0
+
         constants = self.constants
         params = self.csma_params
         profile = self.profile
@@ -511,7 +521,22 @@ class BatchedChannelSimulator:
 
         pe_list = pe_flat  # python floats for the scalar loop
 
+        if tracing:
+            setup_s = perf_counter() - t_setup
+            grid_s = merge_s = 0.0
+            t_phase = 0.0
+            rounds = 0
+
         for round_index in range(superframes):
+            # Grid time spans from here to the phase-B marker; a round that
+            # exits early (``continue``) leaves ``t_phase`` open and the
+            # next round (or the post-loop close) absorbs the remainder.
+            if tracing:
+                now_t = perf_counter()
+                if t_phase:
+                    grid_s += now_t - t_phase
+                t_phase = now_t
+                rounds += 1
             beacon_at = round_index * interval
             cap_end = beacon_at + sf_duration
             latest = cap_end - margin
@@ -609,6 +634,10 @@ class BatchedChannelSimulator:
             event_times = cca_start[scheduled] + slot
 
             # ---- phase B: per-lane CCA/TX event merge ----------------------
+            if tracing:
+                t_merge = perf_counter()
+                grid_s += t_merge - t_phase
+                t_phase = 0.0
             event_lanes = lane_of[event_devices]
             order = np.lexsort((event_times, event_lanes))
             static_times = event_times[order].tolist()
@@ -901,6 +930,13 @@ class BatchedChannelSimulator:
                 dead[kill] = True
             if end_dev:
                 dev_now[end_dev] = end_time
+            if tracing:
+                merge_s += perf_counter() - t_merge
+
+        if tracing:
+            t_ledger = perf_counter()
+            if t_phase:
+                grid_s += t_ledger - t_phase
 
         # ---- final pre-beacon wake at the horizon --------------------------
         ids = np.nonzero(~dead)[0]
@@ -1004,6 +1040,20 @@ class BatchedChannelSimulator:
                 energy_by_phase_j=phase_energy,
                 by_depth=by_depth,
             ))
+
+        if tracing:
+            ledger_s = perf_counter() - t_ledger
+            kernel = tracer.record_span(
+                "kernel:batched", setup_s + grid_s + merge_s + ledger_s,
+                kind="kernel",
+                counters={"lanes": lane_count, "devices": n,
+                          "rounds": rounds})
+            tracer.record_span("setup", setup_s, parent=kernel)
+            tracer.record_span("beacon_grid", grid_s, parent=kernel,
+                               counters={"attempts": int(attempted.sum())})
+            tracer.record_span("contention_merge", merge_s, parent=kernel,
+                               counters={"cca": int(cca.sum())})
+            tracer.record_span("energy_ledger", ledger_s, parent=kernel)
         return summaries
 
 
@@ -1086,6 +1136,12 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
     from repro.network.routing import depth_breakdown, make_lane_sources
     from repro.network.scenario import SimulationSummary
     from repro.network.traffic import SaturatedTraffic
+
+    # Telemetry mirrors _run_batched: phase times accumulate in floats
+    # behind one enabled-check, spans are emitted once at the end.
+    tracer = current_tracer()
+    tracing = tracer.enabled
+    t_setup = perf_counter() if tracing else 0.0
 
     nodes = lane.nodes
     params = csma_params
@@ -1281,10 +1337,17 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
         next_beacon[index] += interval
         begin_superframes(index, now)
 
+    if tracing:
+        t_grid = perf_counter()
+        setup_s = t_grid - t_setup
+
     for index in range(n):
         begin_superframes(index, 0.0, initial=True)
 
     # ---- interaction event loop --------------------------------------------
+    if tracing:
+        t_merge = perf_counter()
+        grid_s = t_merge - t_grid
     while heap:
         now, _, kind, index = heappop(heap)
         if now > horizon:
@@ -1374,6 +1437,9 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
             end_transaction(index, deferred_at)
 
     # ---- numpy ledger reduction --------------------------------------------
+    if tracing:
+        t_ledger = perf_counter()
+        merge_s = t_ledger - t_merge
     power_sd = profile.power_w(RadioState.SHUTDOWN)
     power_idle = profile.power_w(RadioState.IDLE)
     power_rx = profile.power_w(RadioState.RX)
@@ -1439,6 +1505,18 @@ def _simulate_lane_reference(lane: ChannelLane, config: SuperframeConfig,
             lane.tree, [node.node_id for node in nodes], attempted,
             delivered, [sum(per_device) for per_device in delays],
             energy, elapsed)
+
+    if tracing:
+        ledger_s = perf_counter() - t_ledger
+        kernel = tracer.record_span(
+            "kernel:reference", setup_s + grid_s + merge_s + ledger_s,
+            kind="kernel", counters={"lanes": 1, "devices": n})
+        tracer.record_span("setup", setup_s, parent=kernel)
+        tracer.record_span("beacon_grid", grid_s, parent=kernel,
+                           counters={"attempts": int(sum(attempted))})
+        tracer.record_span("contention_merge", merge_s, parent=kernel,
+                           counters={"cca": int(cca.sum())})
+        tracer.record_span("energy_ledger", ledger_s, parent=kernel)
     return SimulationSummary(
         simulated_time_s=horizon,
         node_count=n,

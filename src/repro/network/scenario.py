@@ -39,6 +39,7 @@ from repro.network.traffic import (PeriodicSensingTraffic, SaturatedTraffic,
                                    TrafficModel, TrafficSource)
 from repro.network.topology import (NetworkTopology, StarTopology,
                                     TopologyModel)
+from repro.obs.tracer import current_tracer
 from repro.phy.bands import Band, channels_in_band
 from repro.phy.error_model import EmpiricalBerModel, ErrorModel
 from repro.sim.engine import Environment
@@ -216,62 +217,77 @@ class ChannelScenario:
                 csma_params=self.csma_params, traffic=self.traffic,
                 tree=self.tree)
             return simulator.run(superframes=superframes)
-        streams = RandomStreams(self.seed)
-        sources = self.build_traffic_sources(streams)
-        env = Environment()
-        channel = self.nodes[0].channel
-        medium = Medium(env, channel=channel)
+        tracer = current_tracer()
+        with tracer.span("kernel:event", kind="kernel",
+                         devices=len(self.nodes), superframes=superframes):
+            with tracer.span("setup", kind="phase"):
+                streams = RandomStreams(self.seed)
+                sources = self.build_traffic_sources(streams)
+                env = Environment()
+                channel = self.nodes[0].channel
+                medium = Medium(env, channel=channel)
 
-        links = {node.node_id: node.link() for node in self.nodes}
-        coordinator = Coordinator(
-            env, medium, self.config, constants=self.constants,
-            links=links, rng=streams.get("coordinator"))
+                links = {node.node_id: node.link() for node in self.nodes}
+                coordinator = Coordinator(
+                    env, medium, self.config, constants=self.constants,
+                    links=links, rng=streams.get("coordinator"))
 
-        devices: List[Device] = []
-        for node, tx_level, source in zip(self.nodes, tx_levels, sources):
-            device = Device(
-                env=env,
-                node_id=node.node_id,
-                medium=medium,
-                coordinator=coordinator,
-                config=self.config,
-                payload_bytes=self.payload_bytes,
-                tx_power_dbm=tx_level,
-                csma_params=self.csma_params,
-                constants=self.constants,
-                traffic_source=source,
-                rng=streams.get(f"device[{node.node_id}]"),
-            )
-            devices.append(device)
+                devices: List[Device] = []
+                for node, tx_level, source in zip(self.nodes, tx_levels,
+                                                  sources):
+                    device = Device(
+                        env=env,
+                        node_id=node.node_id,
+                        medium=medium,
+                        coordinator=coordinator,
+                        config=self.config,
+                        payload_bytes=self.payload_bytes,
+                        tx_power_dbm=tx_level,
+                        csma_params=self.csma_params,
+                        constants=self.constants,
+                        traffic_source=source,
+                        rng=streams.get(f"device[{node.node_id}]"),
+                    )
+                    devices.append(device)
 
-        coordinator.start()
-        for device in devices:
-            device.start()
+                coordinator.start()
+                for device in devices:
+                    device.start()
 
-        horizon = superframes * self.config.beacon_interval_s
-        env.run(until=horizon)
+                horizon = superframes * self.config.beacon_interval_s
+            with tracer.span("contention_merge", kind="phase"):
+                env.run(until=horizon)
 
-        # -- aggregate -------------------------------------------------------------
-        packets_attempted = sum(d.counters.get("packets_attempted") for d in devices)
-        packets_delivered = sum(d.counters.get("packets_delivered") for d in devices)
-        access_failures = sum(d.counters.get("channel_access_failures")
-                              for d in devices)
-        delays = [delay for d in devices for delay in d.delays.values]
-        powers = [d.radio.ledger.total_energy_j / max(d.radio.time_s, 1e-12)
-                  for d in devices]
-        energy_by_phase: Dict[str, float] = {}
-        for device in devices:
-            for phase, energy in device.radio.ledger.energy_by_phase().items():
-                energy_by_phase[phase] = energy_by_phase.get(phase, 0.0) + energy
-        by_depth = None
-        if self.tree is not None:
-            by_depth = depth_breakdown(
-                self.tree, [node.node_id for node in self.nodes],
-                [d.counters.get("packets_attempted") for d in devices],
-                [d.counters.get("packets_delivered") for d in devices],
-                [sum(d.delays.values) for d in devices],
-                [d.radio.ledger.total_energy_j for d in devices],
-                [d.radio.time_s for d in devices])
+            # -- aggregate ---------------------------------------------------------
+            with tracer.span("energy_ledger", kind="phase"):
+                packets_attempted = sum(d.counters.get("packets_attempted")
+                                        for d in devices)
+                packets_delivered = sum(d.counters.get("packets_delivered")
+                                        for d in devices)
+                access_failures = sum(
+                    d.counters.get("channel_access_failures")
+                    for d in devices)
+                delays = [delay for d in devices
+                          for delay in d.delays.values]
+                powers = [d.radio.ledger.total_energy_j
+                          / max(d.radio.time_s, 1e-12) for d in devices]
+                energy_by_phase: Dict[str, float] = {}
+                for device in devices:
+                    ledger = device.radio.ledger
+                    for phase, energy in ledger.energy_by_phase().items():
+                        energy_by_phase[phase] = \
+                            energy_by_phase.get(phase, 0.0) + energy
+                by_depth = None
+                if self.tree is not None:
+                    by_depth = depth_breakdown(
+                        self.tree, [node.node_id for node in self.nodes],
+                        [d.counters.get("packets_attempted")
+                         for d in devices],
+                        [d.counters.get("packets_delivered")
+                         for d in devices],
+                        [sum(d.delays.values) for d in devices],
+                        [d.radio.ledger.total_energy_j for d in devices],
+                        [d.radio.time_s for d in devices])
 
         return SimulationSummary(
             simulated_time_s=horizon,

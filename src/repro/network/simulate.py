@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.network.spec import (ScenarioSpec, TX_POLICY_ADAPTIVE,
                                 adaptive_tx_levels)
+from repro.obs.tracer import current_tracer
 from repro.sim.random import spawn_seeds
 
 #: Seed-stream label of the per-channel simulation seeds.
@@ -91,35 +92,39 @@ def simulate_channel(task: ChannelSimTask) -> Dict[str, Any]:
     from repro.network.scenario import ChannelScenario
 
     spec = task.spec
-    scenario = spec.build_seeded(task.placement_seed)
-    nodes = scenario.nodes_on_channel(task.channel)
-    tree = scenario.sink_tree(task.channel)
-    if task.max_nodes is not None and len(nodes) > task.max_nodes:
-        if tree is not None:
-            raise ValueError("max_nodes cannot truncate a routed channel: "
-                             "the sink tree spans the full population")
-        nodes = nodes[:task.max_nodes]
-    if spec.tx_policy == TX_POLICY_ADAPTIVE:
-        frame_bytes = spec.payload_bytes + _overhead_bytes()
-        levels = adaptive_tx_levels(
-            [node.path_loss_db for node in nodes], frame_bytes,
-            target_packet_error=spec.target_packet_error,
-            error_model=scenario.error_model)
-        for node, level in zip(nodes, levels):
-            node.tx_power_dbm = level
-    channel_scenario = ChannelScenario(
-        nodes=nodes,
-        config=spec.superframe_config(),
-        constants=spec.constants(),
-        payload_bytes=spec.payload_bytes,
-        seed=task.sim_seed,
-        csma_params=spec.csma_parameters(),
-        default_tx_power_dbm=spec.tx_power_dbm,
-        traffic=spec.traffic,
-        tree=tree)
-    backend = task.backend or spec.backend
-    summary = channel_scenario.run(superframes=task.superframes,
-                                   backend=backend)
+    tracer = current_tracer()
+    with tracer.span(f"channel[{task.channel}]", kind="lane",
+                     channel=task.channel, replication=task.replication):
+        scenario = spec.build_seeded(task.placement_seed)
+        nodes = scenario.nodes_on_channel(task.channel)
+        tree = scenario.sink_tree(task.channel)
+        if task.max_nodes is not None and len(nodes) > task.max_nodes:
+            if tree is not None:
+                raise ValueError("max_nodes cannot truncate a routed "
+                                 "channel: the sink tree spans the full "
+                                 "population")
+            nodes = nodes[:task.max_nodes]
+        if spec.tx_policy == TX_POLICY_ADAPTIVE:
+            frame_bytes = spec.payload_bytes + _overhead_bytes()
+            levels = adaptive_tx_levels(
+                [node.path_loss_db for node in nodes], frame_bytes,
+                target_packet_error=spec.target_packet_error,
+                error_model=scenario.error_model)
+            for node, level in zip(nodes, levels):
+                node.tx_power_dbm = level
+        channel_scenario = ChannelScenario(
+            nodes=nodes,
+            config=spec.superframe_config(),
+            constants=spec.constants(),
+            payload_bytes=spec.payload_bytes,
+            seed=task.sim_seed,
+            csma_params=spec.csma_parameters(),
+            default_tx_power_dbm=spec.tx_power_dbm,
+            traffic=spec.traffic,
+            tree=tree)
+        backend = task.backend or spec.backend
+        summary = channel_scenario.run(superframes=task.superframes,
+                                       backend=backend)
     return _summary_row(task.channel, summary, task.replication)
 
 

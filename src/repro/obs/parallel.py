@@ -1,0 +1,116 @@
+"""Telemetry transport across the process-pool boundary.
+
+:class:`TracedExecutor` wraps any engine executor (serial or process
+pool).  Each task function is replaced by a picklable :class:`_TracedTask`
+that activates a *fresh* buffer :class:`~repro.obs.tracer.Tracer` inside
+the worker, runs the task under it, and ships the buffer's export back
+with the result.  The parent streams results through unchanged (callers
+still see ``(index, result)`` in completion order) and, once the task
+list drains, grafts the buffers into its own tracer **in task-index
+order** — so the merged span tree is identical for ``--jobs 1`` and
+``--jobs N`` and only the artifact's ``"timing"`` field differs.
+
+Executor telemetry recorded on the timing side:
+
+``executor.queue_wait_s`` (meter)
+    Per task, how long it sat between submission in the parent and its
+    first instruction in a worker.  Both endpoints read
+    ``time.monotonic()``, which is a system-wide clock on the platforms
+    we support, so the cross-process difference is meaningful; it is
+    clamped at zero against scheduler jitter.
+``executor.utilization`` (meter)
+    One observation per ``map_tasks`` call: total busy worker time over
+    ``wall x jobs``, clamped to ``[0, 1]``.
+``executor.tasks`` (counter)
+    Tasks executed through the wrapper.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Iterator, Sequence, Tuple
+
+from repro.obs.tracer import Tracer, activate
+
+
+class _TracedOutcome:
+    """Picklable result envelope a :class:`_TracedTask` sends back."""
+
+    __slots__ = ("result", "export", "started_monotonic", "duration_s", "pid")
+
+    def __init__(self, result: Any, export: dict, started_monotonic: float,
+                 duration_s: float, pid: int):
+        self.result = result
+        self.export = export
+        self.started_monotonic = started_monotonic
+        self.duration_s = duration_s
+        self.pid = pid
+
+
+class _TracedTask:
+    """Picklable wrapper running one task under a fresh buffer tracer."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: Callable[[Any], Any]):
+        self.function = function
+
+    def __call__(self, task: Any) -> _TracedOutcome:
+        started = time.monotonic()
+        begin = time.perf_counter()
+        tracer = Tracer(name="task")
+        with activate(tracer):
+            result = self.function(task)
+        duration = time.perf_counter() - begin
+        return _TracedOutcome(result, tracer.export(), started, duration,
+                              os.getpid())
+
+
+class TracedExecutor:
+    """Wrap an executor so every task reports into ``tracer``.
+
+    Transparent to callers: ``jobs`` and the ``map_tasks`` streaming
+    contract are the inner executor's.  Buffer merge happens after the
+    last task arrives, in task-index order, keeping merged span ids
+    deterministic across executors and completion orders.
+    """
+
+    def __init__(self, inner, tracer: Tracer):
+        self.inner = inner
+        self.tracer = tracer
+
+    @property
+    def jobs(self) -> int:
+        return self.inner.jobs
+
+    def map_tasks(self, function: Callable[[Any], Any],
+                  tasks: Sequence[Any]) -> Iterator[Tuple[int, Any]]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        traced = _TracedTask(function)
+        outcomes = {}
+        submitted = time.monotonic()
+        wall_begin = time.perf_counter()
+        for index, outcome in self.inner.map_tasks(traced, tasks):
+            outcomes[index] = outcome
+            yield index, outcome.result
+        wall = time.perf_counter() - wall_begin
+        tracer = self.tracer
+        busy = 0.0
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
+            tracer.merge_export(outcome.export, name=f"task[{index}]",
+                                worker=outcome.pid)
+            tracer.meter_record("executor.queue_wait_s",
+                                max(0.0, outcome.started_monotonic - submitted))
+            tracer.count("executor.tasks")
+            busy += outcome.duration_s
+        if wall > 0.0:
+            capacity = wall * max(1, self.jobs)
+            tracer.meter_record("executor.utilization",
+                                min(1.0, busy / capacity))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TracedExecutor({self.inner!r})"

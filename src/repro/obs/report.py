@@ -1,0 +1,149 @@
+"""Self-time / phase-breakdown reports over trace artifacts.
+
+:func:`render_report` turns a trace payload (see :mod:`repro.obs.trace`)
+into a plain-text summary: an indented span tree with total time, self
+time (total minus the children's totals) and share of the root, followed
+by the global counters and duration meters.  With ``include_timing=False``
+every timing-derived column and section is omitted, leaving a fully
+deterministic phase table — that variant is what the golden-trace test
+pins.
+
+The formatter is self-contained on purpose: ``repro.obs`` sits below
+``repro.analysis`` in the layering and must not import its table helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import build_payload
+
+
+def phase_durations(tracer_or_payload) -> Dict[str, float]:
+    """Total seconds per phase name (spans of kind ``"phase"``).
+
+    Accepts a live :class:`~repro.obs.tracer.Tracer` or a trace payload
+    dict.  Kernel phases with one name are summed across kernels, lanes
+    and rounds — the shape ``repro.bench`` records as its optional
+    ``"phases"`` section.
+    """
+    payload = tracer_or_payload
+    if not isinstance(payload, dict):
+        payload = build_payload(payload)
+    durations = payload["timing"]["durations_s"]
+    totals: Dict[str, float] = {}
+    for span in payload["spans"]:
+        if span["kind"] != "phase":
+            continue
+        name = span["name"]
+        totals[name] = totals.get(name, 0.0) + durations[str(span["id"])]
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def _format_table(header: List[str], rows: List[List[str]],
+                  align_left: int = 1) -> List[str]:
+    """Columns padded to width; the first ``align_left`` stay left-aligned."""
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def fmt(row: List[str]) -> str:
+        cells = [cell.ljust(widths[column]) if column < align_left
+                 else cell.rjust(widths[column])
+                 for column, cell in enumerate(row)]
+        return "  ".join(cells).rstrip()
+
+    lines = [fmt(header), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def _span_label(span: Dict[str, Any], depth: int) -> str:
+    label = "  " * depth + span["name"]
+    counters = span.get("counters")
+    if counters:
+        inline = ", ".join(f"{key}={counters[key]}"
+                           for key in sorted(counters))
+        label += f" [{inline}]"
+    return label
+
+
+def render_report(payload: Dict[str, Any],
+                  include_timing: bool = True) -> str:
+    """Plain-text span-tree report of a trace payload.
+
+    ``include_timing=False`` drops the duration columns, the percentage
+    column and the meters section, producing deterministic output for a
+    fixed workload and seed.
+    """
+    spans = payload["spans"]
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span)
+
+    durations: Dict[str, float] = {}
+    self_times: Dict[int, float] = {}
+    root_total = 0.0
+    if include_timing:
+        durations = payload["timing"]["durations_s"]
+        for span in spans:
+            total = durations[str(span["id"])]
+            child_total = sum(durations[str(child["id"])]
+                              for child in children.get(span["id"], []))
+            self_times[span["id"]] = max(0.0, total - child_total)
+        root_total = durations[str(spans[0]["id"])]
+
+    header = ["span", "kind"]
+    if include_timing:
+        header += ["total_s", "self_s", "%root"]
+    rows: List[List[str]] = []
+
+    def visit(span: Dict[str, Any], depth: int) -> None:
+        row = [_span_label(span, depth), span["kind"]]
+        if include_timing:
+            total = durations[str(span["id"])]
+            share = 100.0 * total / root_total if root_total > 0 else 0.0
+            row += [f"{total:.6f}", f"{self_times[span['id']]:.6f}",
+                    f"{share:.1f}"]
+        rows.append(row)
+        for child in children.get(span["id"], []):
+            visit(child, depth + 1)
+
+    visit(spans[0], 0)
+
+    lines = [f"trace: {payload['name']}  "
+             f"(schema v{payload['schema_version']}, {len(spans)} spans)"]
+    lines.append("")
+    lines.extend(_format_table(header, rows, align_left=2))
+
+    counters = payload.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        lines.extend(_format_table(
+            ["name", "count"],
+            [[name, str(counters[name])] for name in sorted(counters)]))
+
+    if include_timing:
+        meters = payload["timing"].get("meters", {})
+        if meters:
+            lines.append("")
+            lines.append("meters")
+            meter_rows = []
+            for name in sorted(meters):
+                stats = meters[name]
+                meter_rows.append([
+                    name,
+                    str(stats["count"]),
+                    f"{stats['total_s']:.6f}",
+                    "-" if stats["mean_s"] is None
+                    else f"{stats['mean_s']:.6f}",
+                    "-" if stats["max_s"] is None
+                    else f"{stats['max_s']:.6f}",
+                ])
+            lines.extend(_format_table(
+                ["meter", "count", "total_s", "mean_s", "max_s"],
+                meter_rows))
+
+    return "\n".join(lines) + "\n"

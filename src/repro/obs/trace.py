@@ -1,0 +1,159 @@
+"""Trace artifacts: schema-versioned JSON with one isolated timing field.
+
+A trace file is the serialised form of one :class:`repro.obs.tracer.Tracer`.
+Its top-level key order is fixed (schema first, deterministic sections in
+the middle, ``"timing"`` last) and every nondeterministic quantity — the
+wall-clock timestamp, per-span monotonic durations, meter statistics and
+worker ids — lives inside that single ``"timing"`` object:
+
+``schema_version``
+    Integer, currently ``1``.
+``kind``
+    The literal ``"repro.obs.trace"``.
+``name``
+    Root label of the trace (``"run:fig6_csma"``, ``"sweep:node_density"``).
+``spans``
+    Creation-ordered list of ``{"id", "parent", "name", "kind"}`` objects
+    with optional sorted ``"attrs"`` / ``"counters"``; ``id`` values are
+    consecutive from 0 (the root, ``parent: null``) and every parent id
+    precedes its children.
+``counters``
+    Sorted global event counters (cache hits/misses, task counts, ...).
+``timing``
+    ``{"created_unix_s", "durations_s": {span id: seconds},
+    "meters": {name: {count, total_s, mean_s, max_s}},
+    "workers": {span id: tag}}`` — everything a comparison must exclude.
+
+:func:`deterministic_view` drops ``"timing"``; two same-seed traces of one
+workload compare equal under it whatever the job count, which is exactly
+how the golden-trace and serial-vs-parallel regression tests work.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+TRACE_SCHEMA_VERSION = 1
+
+#: The ``kind`` tag every trace artifact carries.
+TRACE_KIND = "repro.obs.trace"
+
+
+def build_payload(tracer) -> Dict[str, Any]:
+    """The artifact dict of ``tracer`` (deterministic key order)."""
+    root = tracer.spans[0]
+    if root.duration_s == 0.0:
+        root.duration_s = time.perf_counter() - tracer._epoch
+    spans = []
+    for span in tracer.spans:
+        entry: Dict[str, Any] = {"id": span.span_id, "parent": span.parent_id,
+                                 "name": span.name, "kind": span.kind}
+        if span.attrs:
+            entry["attrs"] = {key: span.attrs[key]
+                              for key in sorted(span.attrs)}
+        if span.counters:
+            entry["counters"] = {key: span.counters[key]
+                                 for key in sorted(span.counters)}
+        spans.append(entry)
+    counters = tracer.counters.as_dict()
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "kind": TRACE_KIND,
+        "name": tracer.name,
+        "spans": spans,
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "timing": {
+            "created_unix_s": time.time(),
+            "durations_s": {str(span.span_id): span.duration_s
+                            for span in tracer.spans},
+            "meters": {name: {"count": meter.count,
+                              "total_s": meter.total,
+                              "mean_s": meter.mean if meter.count else None,
+                              "max_s": meter.max if meter.count else None}
+                       for name, meter in sorted(tracer.meters.items())},
+            "workers": {str(span_id): tracer.workers[span_id]
+                        for span_id in sorted(tracer.workers)},
+        },
+    }
+
+
+def write_trace(tracer_or_payload, path) -> Path:
+    """Write a trace artifact to ``path`` and return it.
+
+    Accepts a :class:`~repro.obs.tracer.Tracer` (serialised via
+    :func:`build_payload`) or a ready payload dict.
+    """
+    payload = tracer_or_payload
+    if not isinstance(payload, dict):
+        payload = build_payload(payload)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(path) -> Dict[str, Any]:
+    """Load a trace artifact (key order preserved)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def deterministic_view(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The payload minus its single nondeterministic ``"timing"`` field."""
+    return {key: value for key, value in payload.items() if key != "timing"}
+
+
+def validate_trace(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed trace.
+
+    Checks the schema version and kind tags, the span list's id/parent
+    integrity (consecutive ids, root first, parents before children) and
+    the timing section's per-span duration coverage.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    if payload.get("schema_version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace schema_version "
+                         f"{payload.get('schema_version')!r} "
+                         f"(expected {TRACE_SCHEMA_VERSION})")
+    if payload.get("kind") != TRACE_KIND:
+        raise ValueError(f"not a trace artifact: kind is "
+                         f"{payload.get('kind')!r}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list) or not spans:
+        raise ValueError("trace has no spans")
+    for position, span in enumerate(spans):
+        if not isinstance(span, dict):
+            raise ValueError(f"span {position} is not an object")
+        for field in ("id", "parent", "name", "kind"):
+            if field not in span:
+                raise ValueError(f"span {position} lacks {field!r}")
+        if span["id"] != position:
+            raise ValueError(f"span ids must be consecutive from 0; "
+                             f"position {position} holds id {span['id']!r}")
+        parent = span["parent"]
+        if position == 0:
+            if parent is not None:
+                raise ValueError("the root span's parent must be null")
+        elif not isinstance(parent, int) or not 0 <= parent < position:
+            raise ValueError(f"span {position}: parent {parent!r} must be "
+                             f"an earlier span id")
+        counters = span.get("counters", {})
+        if any(not isinstance(value, int) for value in counters.values()):
+            raise ValueError(f"span {position}: counters must be integers")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("trace lacks a counters object")
+    timing = payload.get("timing")
+    if not isinstance(timing, dict):
+        raise ValueError("trace lacks a timing object")
+    durations = timing.get("durations_s")
+    if not isinstance(durations, dict):
+        raise ValueError("timing lacks durations_s")
+    missing = [span["id"] for span in spans
+               if str(span["id"]) not in durations]
+    if missing:
+        raise ValueError(f"timing.durations_s lacks spans {missing}")

@@ -26,6 +26,9 @@ import re
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
+from repro.obs.tracer import current_tracer
+from repro.sim.monitor import CounterMonitor
+
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -112,6 +115,13 @@ class ResultCache:
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root) if root is not None else default_cache_root()
+        #: Instance-local event counts (hit/miss/store/prune); the same
+        #: events also feed the active tracer's ``cache.*`` counters.
+        self.counters = CounterMonitor("cache")
+
+    def _count(self, event: str) -> None:
+        self.counters.increment(event)
+        current_tracer().count(f"cache.{event}")
 
     # -- keys ---------------------------------------------------------------------
     def key(self, experiment: str, params: Mapping[str, Any], seed: Any,
@@ -130,6 +140,12 @@ class ResultCache:
         A corrupt artifact (interrupted write, manual edit) is treated as a
         miss and removed so the caller recomputes it.
         """
+        artifact = self._load_artifact(key)
+        self._count("hit" if artifact is not None else "miss")
+        return artifact
+
+    def _load_artifact(self, key: str) -> Optional[Dict[str, Any]]:
+        """:meth:`load` without the hit/miss accounting (maintenance use)."""
         path = self.path_for(key)
         if not path.is_file():
             return None
@@ -155,6 +171,7 @@ class ResultCache:
         temporary.write_text(json.dumps(artifact, indent=1, sort_keys=True),
                              encoding="utf-8")
         os.replace(temporary, path)
+        self._count("store")
         return path
 
     def invalidate(self, key: str) -> bool:
@@ -210,13 +227,53 @@ class ResultCache:
         current = version if version is not None else code_version()
         removed = 0
         for key in list(self.keys()):
-            artifact = self.load(key)
-            if artifact is None:  # corrupt: load() already unlinked it
+            artifact = self._load_artifact(key)
+            if artifact is None:  # corrupt: _load_artifact() unlinked it
                 removed += 1
                 continue
             if artifact.get("code_version") != current:
                 removed += int(self.invalidate(key))
+        if removed:
+            self.counters.increment("prune", removed)
+            current_tracer().count("cache.prune", removed)
         return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Read-only store statistics: entry count, bytes, per-experiment.
+
+        Strictly non-mutating, with the same scoping guarantee as
+        :meth:`keys`: only files matching the content-addressed layout are
+        inspected, foreign JSON under the cache root is never opened, and
+        (unlike :meth:`load`) a corrupt artifact is reported — under the
+        experiment name ``"<unreadable>"`` — rather than unlinked.
+        """
+        entries = 0
+        total_bytes = 0
+        by_experiment: Dict[str, Dict[str, int]] = {}
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # raced with a concurrent invalidate
+            try:
+                artifact = json.loads(path.read_text(encoding="utf-8"))
+                experiment = str(artifact.get("experiment", "<unknown>"))
+            except (OSError, json.JSONDecodeError):
+                experiment = "<unreadable>"
+            entries += 1
+            total_bytes += size
+            bucket = by_experiment.setdefault(experiment,
+                                              {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "by_experiment": {name: by_experiment[name]
+                              for name in sorted(by_experiment)},
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ResultCache(root={str(self.root)!r})"

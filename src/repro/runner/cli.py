@@ -7,9 +7,12 @@ Usage (with ``src`` on ``PYTHONPATH`` or the package installed)::
     python -m repro run case_study --no-cache # force a recomputation
     python -m repro run fig6_csma --param num_windows=4
     python -m repro run fig6_csma --output csv --output-file rows.csv
+    python -m repro run fig6_csma --trace trace.json  # telemetry artifact
+    python -m repro obs report trace.json     # self-time/phase breakdown
     python -m repro sweep run node_density    # design-space exploration
     python -m repro bench --quick --check     # perf-trajectory smoke
-    python -m repro cache                     # cache statistics
+    python -m repro cache                     # cache artifacts
+    python -m repro cache stats               # size / per-experiment stats
     python -m repro cache --clear             # drop every artifact
     python -m repro cache prune --keep-current  # drop stale-code entries
 
@@ -17,11 +20,19 @@ Usage (with ``src`` on ``PYTHONPATH`` or the package installed)::
 produces one, the paper-vs-measured report; the exit status is 0 whenever
 the run completed (tolerance misses are reported, not fatal).  The ``sweep``
 command tree lives in :mod:`repro.sweep.cli`.
+
+Output discipline: result rows, tables and summary lines (grep targets of
+scripts and CI) go to stdout via ``print``; auxiliary status lines ("wrote
+... to ...") and error messages go through the stdlib :mod:`logging` tree
+rooted at the ``repro`` logger, which :func:`main` configures onto stderr —
+``--log-level`` tunes it and ``-q``/``--quiet`` maps to ``WARNING``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Any, Dict, Optional, Sequence
 
@@ -36,6 +47,37 @@ from repro.runner.params import parse_param
 from repro.runner.params import parse_param_arg as _parse_param
 from repro.runner.registry import UnknownExperimentError, default_registry
 
+logger = logging.getLogger(__name__)
+
+#: ``--log-level`` choices, lowercase, mapped via ``getattr(logging, ...)``.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(arguments: argparse.Namespace) -> None:
+    """(Re)configure the ``repro`` logger tree for one CLI invocation.
+
+    Level precedence: an explicit ``--log-level``, else ``WARNING`` when
+    the invoked subcommand carries ``-q``/``--quiet``, else ``INFO``.  The
+    handler writes bare messages to *current* ``sys.stderr`` and replaces
+    any handler from a previous :func:`main` call, so repeated in-process
+    invocations (the test suite) never log onto a stale stream.
+    """
+    level_name = getattr(arguments, "log_level", None)
+    if level_name:
+        level = getattr(logging, level_name.upper())
+    elif getattr(arguments, "quiet", False):
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The engine's argument parser (exposed for the CLI tests)."""
@@ -44,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Experiment engine of the Bougard et al. (DATE 2005) "
                     "reproduction: run any paper figure or case study, "
                     "in parallel, with on-disk result caching.")
+    parser.add_argument("--log-level", choices=LOG_LEVELS, default=None,
+                        help="stderr log verbosity (default info; "
+                             "-q/--quiet on a subcommand implies warning)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_parser = commands.add_parser(
@@ -77,12 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the rows to PATH instead of stdout "
                                  "(format from --output, else the file "
                                  "extension)")
+    run_parser.add_argument("--trace", default=None, metavar="PATH",
+                            help="write a repro.obs trace artifact of the "
+                                 "run to PATH (never perturbs results)")
 
     cache_parser = commands.add_parser(
         "cache", help="inspect, clear or prune the result cache")
-    cache_parser.add_argument("action", nargs="?", choices=["show", "prune"],
+    cache_parser.add_argument("action", nargs="?",
+                              choices=["show", "prune", "stats"],
                               default="show",
                               help="'show' lists artifacts (default); "
+                                   "'stats' summarises size and "
+                                   "per-experiment occupancy (read-only); "
                                    "'prune' deletes entries by criterion")
     cache_parser.add_argument("--cache-dir", default=None,
                               help="cache directory to inspect")
@@ -92,6 +143,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="with 'prune': delete entries whose "
                                    "embedded code-version token differs "
                                    "from the current sources")
+
+    obs_parser = commands.add_parser(
+        "obs", help="inspect repro.obs trace artifacts")
+    obs_commands = obs_parser.add_subparsers(dest="obs_command",
+                                             required=True)
+    report_parser = obs_commands.add_parser(
+        "report", help="self-time / phase-breakdown summary of a trace")
+    report_parser.add_argument("trace", help="trace artifact path "
+                                             "(written by run --trace)")
+    report_parser.add_argument("--no-timing", action="store_true",
+                               help="omit durations and meters — the "
+                                    "remaining table is deterministic for "
+                                    "a fixed workload and seed")
+    validate_parser = obs_commands.add_parser(
+        "validate", help="check a trace against the artifact schema")
+    validate_parser.add_argument("trace", help="trace artifact path")
 
     # Imported here, not at module scope: the sweep and bench packages sit
     # *above* the runner in the layering (they import the experiment
@@ -128,24 +195,33 @@ def _command_list(arguments: argparse.Namespace) -> int:
 
 def _command_run(arguments: argparse.Namespace) -> int:
     overrides = dict(arguments.param)
+    tracer = None
+    if arguments.trace:
+        from repro.obs import Tracer
+        tracer = Tracer(name=f"run:{arguments.experiment}")
     try:
         run = run_experiment(arguments.experiment,
                              params=overrides,
                              jobs=arguments.jobs,
                              seed=arguments.seed,
                              cache=not arguments.no_cache,
-                             cache_root=arguments.cache_dir)
+                             cache_root=arguments.cache_dir,
+                             tracer=tracer)
     except UnknownExperimentError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error(f"error: {error}")
         return 2
     except KeyError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
+        logger.error(f"error: {error.args[0]}")
         return 2
     except ValueError as error:
         # Invalid parameter values (e.g. num_windows=0) surface as the
         # model's own message rather than a traceback.
-        print(f"error: {error}", file=sys.stderr)
+        logger.error(f"error: {error}")
         return 2
+    if tracer is not None:
+        from repro.obs import write_trace
+        trace_path = write_trace(tracer, arguments.trace)
+        logger.info(f"wrote trace to {trace_path}")
 
     emit_stdout_rows = arguments.output and not arguments.output_file
     if not arguments.quiet and not emit_stdout_rows:
@@ -167,7 +243,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.output_file:
         path = write_rows(run.rows, arguments.output_file,
                           fmt=arguments.output, columns=run.csv_columns())
-        print(f"wrote {len(run.rows)} rows to {path}")
+        logger.info(f"wrote {len(run.rows)} rows to {path}")
     print(summary)
     return 0
 
@@ -192,11 +268,24 @@ def _print_report(report: Dict[str, Any]) -> None:
 
 def _command_cache(arguments: argparse.Namespace) -> int:
     cache = ResultCache(root=arguments.cache_dir)
+    if arguments.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"total size: {stats['total_bytes']} bytes")
+        for name, bucket in stats["by_experiment"].items():
+            print(f"  {name}: {bucket['entries']} entries, "
+                  f"{bucket['bytes']} bytes")
+        counters = cache.counters.as_dict()
+        session = ", ".join(f"{key}={counters[key]}"
+                            for key in sorted(counters)) or "none"
+        print(f"session counters: {session}")
+        return 0
     if arguments.action == "prune":
         if not arguments.keep_current:
-            print("error: 'cache prune' needs a criterion; use "
-                  "--keep-current to drop entries from older code versions",
-                  file=sys.stderr)
+            logger.error("error: 'cache prune' needs a criterion; use "
+                         "--keep-current to drop entries from older code "
+                         "versions")
             return 2
         removed = cache.prune_stale()
         print(f"pruned {removed} stale artifact(s) from {cache.root} "
@@ -215,9 +304,32 @@ def _command_cache(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs(arguments: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_report, validate_trace
+    try:
+        payload = read_trace(arguments.trace)
+    except (OSError, json.JSONDecodeError) as error:
+        logger.error(f"error: cannot read trace {arguments.trace}: {error}")
+        return 2
+    try:
+        validate_trace(payload)
+    except ValueError as error:
+        logger.error(f"error: invalid trace {arguments.trace}: {error}")
+        return 2
+    if arguments.obs_command == "validate":
+        print(f"{arguments.trace}: valid {payload['kind']} "
+              f"(schema v{payload['schema_version']}, "
+              f"{len(payload['spans'])} spans)")
+        return 0
+    print(render_report(payload, include_timing=not arguments.no_timing),
+          end="")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the exit status."""
     arguments = build_parser().parse_args(argv)
+    configure_logging(arguments)
     if arguments.command == "sweep":
         from repro.sweep.cli import command_sweep
         handler = command_sweep
@@ -227,7 +339,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         handler = {"list": _command_list,
                    "run": _command_run,
-                   "cache": _command_cache}[arguments.command]
+                   "cache": _command_cache,
+                   "obs": _command_obs}[arguments.command]
     try:
         return handler(arguments)
     except BrokenPipeError:

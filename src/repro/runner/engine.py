@@ -21,6 +21,8 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Mapping, Optional
 
+from repro.obs.parallel import TracedExecutor
+from repro.obs.tracer import activate, current_tracer
 from repro.runner.cache import NullCache, ResultCache, code_version
 from repro.runner.executor import make_executor
 from repro.runner.registry import (ExperimentRegistry, RunContext,
@@ -67,7 +69,8 @@ def run_experiment(name: str,
                    seed: Optional[int] = DEFAULT_SEED,
                    cache: Any = True,
                    cache_root: Optional[str] = None,
-                   registry: Optional[ExperimentRegistry] = None
+                   registry: Optional[ExperimentRegistry] = None,
+                   tracer: Any = None
                    ) -> RunResult:
     """Run one registered experiment, consulting the result cache.
 
@@ -97,6 +100,12 @@ def run_experiment(name: str,
         Cache directory when ``cache`` is ``True``.
     registry:
         Registry to resolve ``name`` in; defaults to the full catalogue.
+    tracer:
+        Observability collector (:class:`repro.obs.Tracer`); defaults to
+        the currently *active* tracer (usually the disabled
+        :data:`~repro.obs.NULL_TRACER`).  Tracing never perturbs the run:
+        it feeds neither the cache key nor any RNG stream, so a traced
+        run's payload equals the untraced one for the same seed.
 
     Returns
     -------
@@ -113,35 +122,47 @@ def run_experiment(name: str,
         cache_obj = resolve_cache(cache, cache_root)
     key = cache_obj.key(spec.name, _canonical_params(resolved), seed)
 
-    start = time.perf_counter()
-    stored = cache_obj.load(key)
-    if stored is not None:
-        return RunResult(spec=spec, params=resolved, seed=seed, jobs=jobs,
-                         cache_hit=True, cache_key=key,
-                         code_version=stored.get("code_version",
-                                                 code_version()),
-                         elapsed_s=time.perf_counter() - start,
-                         payload=stored["payload"])
+    tracer = tracer if tracer is not None else current_tracer()
+    # ``jobs`` is deliberately NOT a span attribute: the deterministic view
+    # of a trace must be identical for serial and parallel runs of one
+    # workload (worker ids and meters live on the timing side).
+    with activate(tracer), \
+            tracer.span(f"run:{spec.name}", kind="run", experiment=spec.name,
+                        seed=seed):
+        start = time.perf_counter()
+        with tracer.span("cache.lookup", kind="cache"):
+            stored = cache_obj.load(key)
+        if stored is not None:
+            return RunResult(spec=spec, params=resolved, seed=seed,
+                             jobs=jobs, cache_hit=True, cache_key=key,
+                             code_version=stored.get("code_version",
+                                                     code_version()),
+                             elapsed_s=time.perf_counter() - start,
+                             payload=stored["payload"])
 
-    context = RunContext(executor=make_executor(jobs), cache=cache_obj,
-                         seed=seed)
-    payload = spec.runner(resolved, context)
-    elapsed = time.perf_counter() - start
-    try:
-        cache_obj.store(key, {
-            "experiment": spec.name,
-            "params": _canonical_params(resolved),
-            "seed": seed,
-            "code_version": code_version(),
-            "elapsed_s": elapsed,
-            "payload": payload,
-        })
-    except OSError:
-        pass  # unwritable cache must not lose a finished computation
-    return RunResult(spec=spec, params=resolved, seed=seed, jobs=jobs,
-                     cache_hit=False, cache_key=key,
-                     code_version=code_version(), elapsed_s=elapsed,
-                     payload=payload)
+        executor = make_executor(jobs)
+        if tracer.enabled:
+            executor = TracedExecutor(executor, tracer)
+        context = RunContext(executor=executor, cache=cache_obj, seed=seed)
+        with tracer.span(f"driver:{spec.name}", kind="driver"):
+            payload = spec.runner(resolved, context)
+        elapsed = time.perf_counter() - start
+        try:
+            with tracer.span("cache.store", kind="cache"):
+                cache_obj.store(key, {
+                    "experiment": spec.name,
+                    "params": _canonical_params(resolved),
+                    "seed": seed,
+                    "code_version": code_version(),
+                    "elapsed_s": elapsed,
+                    "payload": payload,
+                })
+        except OSError:
+            pass  # unwritable cache must not lose a finished computation
+        return RunResult(spec=spec, params=resolved, seed=seed, jobs=jobs,
+                         cache_hit=False, cache_key=key,
+                         code_version=code_version(), elapsed_s=elapsed,
+                         payload=payload)
 
 
 def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:

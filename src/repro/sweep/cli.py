@@ -15,12 +15,16 @@ writes the CSV/JSON tables plus the reproducibility manifest via
 :mod:`repro.sweep.artifacts`.  ``status`` computes every point's engine
 cache key and reports which points are already done — an interrupted sweep
 shows partial occupancy and ``run`` will only compute the rest.
+
+Output discipline matches :mod:`repro.runner.cli`: result tables and the
+summary/``spec_hash`` lines stay on stdout; auxiliary status ("wrote ...")
+and ``error:`` lines go through the ``repro`` logger to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import logging
 
 # Shared --param reader — one table, one behaviour for both the runner and
 # the sweep CLI (see repro.runner.params.parse_param).
@@ -32,6 +36,8 @@ from repro.sweep.catalog import (UnknownSweepError, get_sweep,
                                  iter_definitions)
 from repro.sweep.driver import run_sweep, sweep_status
 from repro.sweep.spec import SweepSpec
+
+logger = logging.getLogger(__name__)
 
 
 def add_sweep_parser(commands) -> None:
@@ -74,6 +80,10 @@ def add_sweep_parser(commands) -> None:
     run_parser.add_argument("--quiet", "-q", action="store_true",
                             help="suppress the tables, print the summary "
                                  "lines only")
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="write a repro.obs trace of the sweep "
+                                 "(inspect with 'python -m repro obs "
+                                 "report PATH')")
 
     status_parser = actions.add_parser(
         "status", help="cache occupancy of a sweep (runs nothing)")
@@ -118,9 +128,14 @@ def _print_front(result) -> None:
 
 def _command_run(arguments: argparse.Namespace) -> int:
     spec = _resolve_spec(arguments)
+    tracer = None
+    if arguments.trace:
+        from repro.obs import Tracer
+        tracer = Tracer(name=f"sweep:{arguments.sweep}")
     result = run_sweep(spec, jobs=arguments.jobs,
                        cache=not arguments.no_cache,
-                       cache_root=arguments.cache_dir)
+                       cache_root=arguments.cache_dir,
+                       tracer=tracer)
     if not arguments.quiet:
         print(result.to_table())
         print()
@@ -132,7 +147,11 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.export:
         paths = export_sweep(result, arguments.export)
         for kind in ("csv", "long_csv", "json", "manifest"):
-            print(f"  wrote {kind:9s} {paths[kind]}")
+            logger.info(f"  wrote {kind:9s} {paths[kind]}")
+    if tracer is not None:
+        from repro.obs import write_trace
+        trace_path = write_trace(tracer, arguments.trace)
+        logger.info(f"wrote trace to {trace_path}")
     return 0
 
 
@@ -160,7 +179,7 @@ def _command_export(arguments: argparse.Namespace) -> int:
           f"({result.cached_points} from cache) "
           f"spec_hash={spec.spec_hash()}")
     for kind in ("csv", "long_csv", "json", "manifest"):
-        print(f"  wrote {kind:9s} {paths[kind]}")
+        logger.info(f"  wrote {kind:9s} {paths[kind]}")
     return 0
 
 
@@ -199,13 +218,13 @@ def command_sweep(arguments: argparse.Namespace) -> int:
     try:
         return handler(arguments)
     except UnknownSweepError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error(f"error: {error}")
         return 2
     except KeyError as error:
         # e.g. an unknown --param name (UnknownParameterError); keep the
         # schema's did-you-mean message, drop the traceback.
-        print(f"error: {error.args[0]}", file=sys.stderr)
+        logger.error(f"error: {error.args[0]}")
         return 2
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error(f"error: {error}")
         return 2

@@ -21,10 +21,13 @@ Results are collected two ways:
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.obs.parallel import TracedExecutor
+from repro.obs.tracer import activate, current_tracer
 from repro.runner.cache import NullCache
 from repro.runner.engine import (_canonical_params, resolve_cache,
                                  run_experiment)
@@ -32,6 +35,8 @@ from repro.runner.executor import (SerialExecutor, make_executor,
                                    run_ordered)
 from repro.runner.registry import ExperimentRegistry, default_registry
 from repro.sweep.spec import SweepSpec
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -213,7 +218,8 @@ def run_sweep(spec: SweepSpec,
               cache_root: Optional[str] = None,
               registry: Optional[ExperimentRegistry] = None,
               executor=None,
-              on_point: Optional[Callable[[int, Dict[str, Any]], None]] = None
+              on_point: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+              tracer: Any = None
               ) -> SweepRunResult:
     """Run every point of ``spec``, resuming finished points from the cache.
 
@@ -237,6 +243,11 @@ def run_sweep(spec: SweepSpec,
     on_point:
         Optional ``(point_index, wide_row)`` callback streamed as points
         complete (completion order under a parallel executor).
+    tracer:
+        Observability collector (:class:`repro.obs.Tracer`); defaults to
+        the active tracer.  Records a ``sweep:<name>`` span, per-point
+        progress counters (``sweep.points.cached`` / ``.computed``) and —
+        through the per-task worker buffers — every point's engine spans.
 
     Returns
     -------
@@ -248,11 +259,16 @@ def run_sweep(spec: SweepSpec,
     points = expand_points(spec, cache=cache, cache_root=cache_root,
                            registry=registry)
     executor = executor if executor is not None else make_executor(jobs)
+    tracer = tracer if tracer is not None else current_tracer()
+    if tracer.enabled and not isinstance(executor, TracedExecutor):
+        executor = TracedExecutor(executor, tracer)
+    inner_executor = executor.inner \
+        if isinstance(executor, TracedExecutor) else executor
     # Serial runs hand any cache object straight through; process workers
     # rebuild theirs from plain-data settings — a cache *object* ships as
     # ``(True, its root)`` so workers hit the same on-disk store instead of
     # silently falling back to the default directory.
-    if isinstance(executor, SerialExecutor) or \
+    if isinstance(inner_executor, SerialExecutor) or \
             isinstance(cache, (bool, NullCache)) or cache is None:
         cache_setting = cache
     else:
@@ -265,10 +281,19 @@ def run_sweep(spec: SweepSpec,
              for point in points]
 
     def stream(index: int, outcome: Dict[str, Any]) -> None:
+        tracer.count("sweep.points.cached" if outcome["cache_hit"]
+                     else "sweep.points.computed")
+        logger.debug("sweep %s: point %d/%d %s in %.3fs",
+                     spec.name, index + 1, len(points),
+                     "cached" if outcome["cache_hit"] else "computed",
+                     outcome["elapsed_s"])
         if on_point is not None:
             on_point(index, _wide_row(points[index], outcome))
 
-    outcomes = run_ordered(executor, _run_point, tasks, on_result=stream)
+    with activate(tracer), \
+            tracer.span(f"sweep:{spec.name}", kind="sweep", sweep=spec.name,
+                        experiment=spec.experiment, points=len(points)):
+        outcomes = run_ordered(executor, _run_point, tasks, on_result=stream)
 
     rows = [_wide_row(point, outcome)
             for point, outcome in zip(points, outcomes)]

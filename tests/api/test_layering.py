@@ -41,6 +41,21 @@ def test_importing_the_routing_layer_pulls_in_no_upper_layer():
     assert completed.returncode == 0, completed.stderr
 
 
+def test_importing_obs_pulls_in_nothing_above_the_sim_substrate():
+    """``repro.obs`` sits just above :mod:`repro.sim`: importing it must
+    not pull in the runner, sweep, bench, api or any simulation-domain
+    package.  ``import repro`` itself loads ``repro.core``/``repro.radio``,
+    so the check diffs against that baseline.  CI runs the same assertion
+    as a standalone step."""
+    completed = _run(
+        "import sys, repro; base = set(sys.modules); import repro.obs; "
+        "offenders = sorted(m for m in set(sys.modules) - base "
+        "if m.startswith('repro.') "
+        "and not m.startswith(('repro.obs', 'repro.sim'))); "
+        "assert not offenders, offenders")
+    assert completed.returncode == 0, completed.stderr
+
+
 def test_importing_the_facade_is_self_contained_and_runs(tmp_path):
     """The documented entry point works from a cold interpreter."""
     completed = _run(

@@ -1,0 +1,137 @@
+"""CLI surface of the observability PR: --trace, obs report, cache stats,
+and the logging migration (--log-level, -q maps to WARNING)."""
+
+import json
+
+import pytest
+
+from repro.obs import read_trace, validate_trace
+from repro.runner.cli import main
+
+#: A fast workload shared by the CLI tests.
+RUN_ARGS = ["run", "fig6_csma", "--no-cache", "--param", "num_windows=2",
+            "--param", "payload_sizes=[20]", "--param", "loads=[0.1, 0.3]",
+            "--param", "num_nodes=20"]
+
+
+class TestRunTrace:
+    def test_run_writes_a_valid_trace_artifact(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main([*RUN_ARGS, "--quiet", "--trace", str(trace)]) == 0
+        payload = read_trace(trace)
+        validate_trace(payload)
+        assert payload["name"] == "run:fig6_csma"
+        # fig6_csma fans out Monte-Carlo tasks; the MAC kernel spans are
+        # covered by the golden-trace test over case_study_full.
+        kinds = {span["kind"] for span in payload["spans"]}
+        assert {"run", "cache", "driver", "task"} <= kinds
+
+    def test_trace_status_line_goes_to_stderr_not_stdout(self, tmp_path,
+                                                         capsys):
+        trace = tmp_path / "trace.json"
+        assert main([*RUN_ARGS, "--trace", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote trace to {trace}" in captured.err
+        assert "wrote trace" not in captured.out
+
+    def test_summary_line_stays_on_stdout(self, tmp_path, capsys):
+        assert main([*RUN_ARGS, "--quiet",
+                     "--trace", str(tmp_path / "t.json")]) == 0
+        assert "fig6_csma: " in capsys.readouterr().out
+
+
+class TestObsCommands:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main([*RUN_ARGS, "--quiet", "--trace", str(trace)]) == 0
+        return trace
+
+    def test_validate_reports_schema_and_span_count(self, trace_path,
+                                                    capsys):
+        capsys.readouterr()
+        assert main(["obs", "validate", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid repro.obs.trace" in out
+        assert "schema v1" in out
+
+    def test_report_prints_the_span_tree(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run:fig6_csma" in out
+        assert "total_s" in out  # timing columns present by default
+
+    def test_report_no_timing_drops_duration_columns(self, trace_path,
+                                                     capsys):
+        capsys.readouterr()
+        assert main(["obs", "report", "--no-timing", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run:fig6_csma" in out
+        assert "total_s" not in out
+
+    def test_missing_trace_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.json")]) == 2
+        assert "error: cannot read trace" in capsys.readouterr().err
+
+    def test_invalid_trace_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "other"}), encoding="utf-8")
+        assert main(["obs", "validate", str(bad)]) == 2
+        assert "error: invalid trace" in capsys.readouterr().err
+
+
+class TestCacheStats:
+    def test_stats_summarise_entries_per_experiment(self, tmp_path, capsys):
+        cache_args = ["--cache-dir", str(tmp_path)]
+        assert main(["run", "fig6_csma", "--quiet",
+                     "--param", "num_windows=2",
+                     "--param", "payload_sizes=[20]",
+                     "--param", "loads=[0.1]",
+                     "--param", "num_nodes=20", *cache_args]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", *cache_args]) == 0
+        out = capsys.readouterr().out
+        assert f"cache root: {tmp_path}" in out
+        assert "entries:    1" in out
+        assert "fig6_csma: 1 entries" in out
+        assert "session counters:" in out
+
+    def test_stats_on_an_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+        assert "total size: 0 bytes" in out
+
+    def test_stats_ignores_foreign_json_under_the_root(self, tmp_path,
+                                                       capsys):
+        foreign = tmp_path / "notes.json"
+        foreign.write_text('{"precious": true}', encoding="utf-8")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+        assert foreign.read_text(encoding="utf-8") == '{"precious": true}'
+
+
+class TestLogging:
+    def test_status_lines_respect_log_level_error(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.csv"
+        assert main(["--log-level", "error", *RUN_ARGS, "--quiet",
+                     "--output-file", str(out_file)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" not in captured.err  # info suppressed
+        assert out_file.exists()  # the work still happened
+
+    def test_quiet_maps_to_warning(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main([*RUN_ARGS, "--quiet", "--trace", str(trace)]) == 0
+        assert "wrote trace" not in capsys.readouterr().err
+        assert trace.exists()
+
+    def test_errors_log_at_any_level(self, capsys):
+        assert main(["--log-level", "error", "run", "no_such_experiment",
+                     "--no-cache"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_debug_level_is_accepted(self, capsys):
+        assert main(["--log-level", "debug", *RUN_ARGS, "--quiet"]) == 0
+        assert "fig6_csma" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Trace artifact IO: schema shape, round-trip, deterministic view."""
+
+import json
+
+import pytest
+
+from repro.obs import (TRACE_KIND, TRACE_SCHEMA_VERSION, Tracer,
+                       deterministic_view, read_trace, validate_trace,
+                       write_trace)
+from repro.obs.trace import build_payload
+
+
+def _small_tracer():
+    tracer = Tracer(name="run:test")
+    with tracer.span("driver", kind="driver", experiment="test"):
+        tracer.record_span("setup", 0.1, kind="phase",
+                           counters={"attempts": 3})
+    tracer.count("cache.miss")
+    tracer.meter_record("queue_wait_s", 0.01)
+    return tracer
+
+
+class TestPayloadShape:
+    def test_top_level_key_order_is_fixed_with_timing_last(self):
+        payload = build_payload(_small_tracer())
+        assert list(payload) == ["schema_version", "kind", "name", "spans",
+                                 "counters", "timing"]
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+        assert payload["kind"] == TRACE_KIND
+
+    def test_all_nondeterminism_is_confined_to_timing(self):
+        payload = build_payload(_small_tracer())
+        timing = payload["timing"]
+        assert set(timing) == {"created_unix_s", "durations_s", "meters",
+                               "workers"}
+        # every span has a duration entry, keyed by its stringified id
+        assert set(timing["durations_s"]) == {
+            str(span["id"]) for span in payload["spans"]}
+
+    def test_span_attrs_and_counters_are_sorted_and_optional(self):
+        tracer = Tracer()
+        with tracer.span("a", kind="run", zulu=1, alpha=2):
+            pass
+        payload = build_payload(tracer)
+        root, span = payload["spans"]
+        assert "attrs" not in root and "counters" not in root
+        assert list(span["attrs"]) == ["alpha", "zulu"]
+
+    def test_deterministic_view_drops_only_timing(self):
+        payload = build_payload(_small_tracer())
+        view = deterministic_view(payload)
+        assert "timing" not in view
+        assert list(view) == ["schema_version", "kind", "name", "spans",
+                              "counters"]
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_trace(_small_tracer(), path)
+        assert written == path
+        payload = read_trace(path)
+        validate_trace(payload)
+        assert payload["name"] == "run:test"
+        assert payload["counters"] == {"cache.miss": 1}
+
+    def test_write_accepts_a_ready_payload(self, tmp_path):
+        payload = build_payload(_small_tracer())
+        path = write_trace(payload, tmp_path / "sub" / "trace.json")
+        assert read_trace(path) == json.loads(json.dumps(payload))
+
+    def test_serialisation_is_byte_stable_for_one_payload(self, tmp_path):
+        payload = build_payload(_small_tracer())
+        a = write_trace(payload, tmp_path / "a.json").read_bytes()
+        b = write_trace(payload, tmp_path / "b.json").read_bytes()
+        assert a == b
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        validate_trace(build_payload(_small_tracer()))
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda p: p.update(schema_version=99), "schema_version"),
+        (lambda p: p.update(kind="other"), "not a trace artifact"),
+        (lambda p: p.update(spans=[]), "no spans"),
+        (lambda p: p.pop("counters"), "counters object"),
+        (lambda p: p.pop("timing"), "timing object"),
+        (lambda p: p["timing"].pop("durations_s"), "durations_s"),
+    ])
+    def test_malformed_payloads_are_rejected(self, mutate, message):
+        payload = build_payload(_small_tracer())
+        mutate(payload)
+        with pytest.raises(ValueError, match=message):
+            validate_trace(payload)
+
+    def test_non_consecutive_span_ids_are_rejected(self):
+        payload = build_payload(_small_tracer())
+        payload["spans"][1]["id"] = 5
+        with pytest.raises(ValueError, match="consecutive"):
+            validate_trace(payload)
+
+    def test_forward_parent_reference_is_rejected(self):
+        payload = build_payload(_small_tracer())
+        payload["spans"][1]["parent"] = 2
+        with pytest.raises(ValueError, match="earlier span id"):
+            validate_trace(payload)
+
+    def test_root_with_a_parent_is_rejected(self):
+        payload = build_payload(_small_tracer())
+        payload["spans"][0]["parent"] = 0
+        with pytest.raises(ValueError, match="root span"):
+            validate_trace(payload)
+
+    def test_missing_duration_is_rejected(self):
+        payload = build_payload(_small_tracer())
+        del payload["timing"]["durations_s"]["1"]
+        with pytest.raises(ValueError, match="lacks spans"):
+            validate_trace(payload)
+
+    def test_non_integer_span_counters_are_rejected(self):
+        payload = build_payload(_small_tracer())
+        payload["spans"][2]["counters"]["attempts"] = 1.5
+        with pytest.raises(ValueError, match="integers"):
+            validate_trace(payload)

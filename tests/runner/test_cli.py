@@ -128,9 +128,10 @@ class TestCommands:
 
     def test_run_output_file_csv(self, tmp_path, capsys):
         out_file = tmp_path / "rows.csv"
-        assert main(["run", "fig6_csma", "--no-cache", "--quiet", *TINY_ARGS,
+        assert main(["run", "fig6_csma", "--no-cache", *TINY_ARGS,
                      "--output-file", str(out_file)]) == 0
-        assert f"wrote 2 rows to {out_file}" in capsys.readouterr().out
+        # Status lines go through logging to stderr; rows stay on stdout.
+        assert f"wrote 2 rows to {out_file}" in capsys.readouterr().err
         lines = out_file.read_text().splitlines()
         assert lines[0].startswith("payload_bytes,load,")
         assert len(lines) == 3  # header + one row per load

@@ -36,6 +36,36 @@ class TestMonitor:
         assert monitor.percentile(50) == pytest.approx(50.0)
         assert monitor.percentile(90) == pytest.approx(90.0)
 
+    def test_percentile_extremes_match_min_and_max(self):
+        monitor = Monitor()
+        monitor.extend([3.0, -1.0, 7.0])
+        assert monitor.percentile(0) == monitor.min == -1.0
+        assert monitor.percentile(100) == monitor.max == 7.0
+
+    def test_percentile_of_single_sample_is_that_sample(self):
+        monitor = Monitor()
+        monitor.record(42.0)
+        for q in (0, 25, 50, 99, 100):
+            assert monitor.percentile(q) == pytest.approx(42.0)
+
+    def test_percentile_interpolates_between_samples(self):
+        monitor = Monitor()
+        monitor.extend([0.0, 10.0])
+        assert monitor.percentile(50) == pytest.approx(5.0)
+        assert monitor.percentile(25) == pytest.approx(2.5)
+
+    def test_std_of_single_sample_is_nan(self):
+        monitor = Monitor()
+        monitor.record(1.0)
+        assert math.isnan(monitor.std)
+
+    def test_values_property_is_a_copy(self):
+        monitor = Monitor()
+        monitor.extend([1.0, 2.0])
+        values = monitor.values
+        values[0] = 99.0
+        assert monitor.values[0] == 1.0
+
     def test_confidence_interval_contains_mean(self):
         monitor = Monitor()
         monitor.extend([10.0] * 50)
@@ -95,6 +125,27 @@ class TestTimeWeightedMonitor:
 
     def test_zero_duration_average_is_nan(self):
         assert math.isnan(TimeWeightedMonitor().time_average)
+
+    def test_empty_signal_has_zero_integral_and_duration(self):
+        monitor = TimeWeightedMonitor(initial_value=4.0)
+        assert monitor.integral == 0.0
+        assert monitor.duration == 0.0
+        assert monitor.current == 4.0
+        assert monitor.min == monitor.max == 4.0
+
+    def test_finalize_at_the_start_time_keeps_average_nan(self):
+        monitor = TimeWeightedMonitor(initial_time=3.0, initial_value=2.0)
+        monitor.finalize(3.0)  # zero-width segment, no observed time
+        assert monitor.duration == 0.0
+        assert math.isnan(monitor.time_average)
+
+    def test_repeated_sample_at_the_same_time_is_zero_width(self):
+        monitor = TimeWeightedMonitor()
+        monitor.record(1.0, 5.0)
+        monitor.record(1.0, 9.0)  # instant level change, no area
+        monitor.finalize(2.0)
+        assert monitor.integral == pytest.approx(9.0)
+        assert monitor.time_average == pytest.approx(9.0 / 2.0)
 
     def test_current_value(self):
         monitor = TimeWeightedMonitor()
