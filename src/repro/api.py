@@ -32,14 +32,18 @@ from __future__ import annotations
 import os
 from typing import Any, List, Optional, Union
 
+from repro.runner.backends import (CacheBackend, DirectoryBackend,
+                                   SharedDirectoryBackend, resolve_backend)
 from repro.runner.cache import code_version
-from repro.runner.engine import DEFAULT_SEED, resolve_cache, run_experiment
+from repro.runner.engine import (DEFAULT_SEED, canonical_params,
+                                 resolve_cache, run_experiment)
 from repro.runner.params import (ParamSchema, ParamSpec, ParameterValueError,
-                                 UnknownParameterError)
+                                 UnknownParameterError, parse_param_arg)
 from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
                                    UnknownExperimentError, default_registry)
 from repro.runner.result import RunResult
-from repro.sweep.catalog import get_sweep
+from repro.sweep.artifacts import sweep_json_text
+from repro.sweep.catalog import UnknownSweepError, get_sweep
 from repro.sweep.driver import SweepRunResult, run_sweep, sweep_status
 from repro.sweep.spec import GridAxis, RandomAxis, RangeAxis, SweepSpec
 
@@ -56,8 +60,16 @@ __all__ = [
     "ParameterValueError",
     "UnknownParameterError",
     "UnknownExperimentError",
+    "UnknownSweepError",
     "DEFAULT_SEED",
     "code_version",
+    "canonical_params",
+    "parse_param_arg",
+    "sweep_json_text",
+    "CacheBackend",
+    "DirectoryBackend",
+    "SharedDirectoryBackend",
+    "resolve_backend",
 ]
 
 _UNSET = object()
@@ -75,6 +87,13 @@ class Session:
     cache:
         ``True`` (on-disk cache at ``cache_dir``), ``False`` (no caching),
         or a ready cache object.
+    backend:
+        Cache storage backend: a
+        :class:`~repro.runner.backends.CacheBackend` instance or a kind
+        name (``"directory"`` — the default local layout — or ``"shared"``
+        — cross-process file locking for N workers on one cache
+        directory), built over ``cache_dir``.  Mutually exclusive with a
+        non-default ``cache`` argument.
     jobs:
         Default worker-process count of every run and sweep (``1`` =
         serial; rows are identical either way).
@@ -104,11 +123,16 @@ class Session:
     def __init__(self, *,
                  cache_dir: Optional[Union[str, os.PathLike]] = None,
                  cache: Any = True,
+                 backend: Any = None,
                  jobs: int = 1,
                  seed: Optional[int] = DEFAULT_SEED,
                  registry: Optional[ExperimentRegistry] = None,
                  trace: Optional[Union[str, os.PathLike]] = None):
         self._cache_root = None if cache_dir is None else str(cache_dir)
+        if backend is not None:
+            if cache is not True:
+                raise ValueError("pass either backend= or cache=, not both")
+            cache = resolve_backend(backend, self._cache_root)
         self._cache = resolve_cache(cache, self._cache_root)
         self._jobs = max(1, jobs)
         self._seed = seed
@@ -203,6 +227,30 @@ class Session:
                            tracer=self._tracer)
         self._flush_trace()
         return result
+
+    def cache_key(self, name: str, *, seed: Any = _UNSET,
+                  **params: Any) -> str:
+        """The engine cache key :meth:`run` would use — without running.
+
+        Parameters validate and coerce through the experiment's typed
+        schema exactly as in :meth:`run`, so equivalent spellings map to
+        one key.  This is what lets layers above the façade (the service
+        job queue) deduplicate work against the shared result cache.
+        """
+        spec = self._registry.get(name)
+        resolved = spec.resolve_params(params)
+        return self._cache.key(spec.name, canonical_params(resolved),
+                               self._seed if seed is _UNSET else seed)
+
+    def sweep_spec(self, spec: Union[SweepSpec, str], *,
+                   quick: bool = False) -> SweepSpec:
+        """Resolve a sweep catalogue name to its :class:`SweepSpec`.
+
+        A ready spec passes through unchanged (``quick=True`` is only
+        meaningful for catalogue names).  Unknown names raise
+        :class:`~repro.sweep.catalog.UnknownSweepError` with suggestions.
+        """
+        return self._resolve_sweep(spec, quick)
 
     def _flush_trace(self) -> None:
         # Rewrite the artifact after every traced call so an interrupted

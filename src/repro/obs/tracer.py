@@ -34,6 +34,7 @@ serial trace modulo the timing field.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Dict, Iterator, List, Optional
@@ -258,13 +259,28 @@ class Tracer:
         return f"Tracer(name={self.name!r}, spans={len(self.spans)})"
 
 
-#: Stack of active tracers; the bottom element is the disabled default.
-_ACTIVE: List[Any] = [NULL_TRACER]
+class _TracerStack(threading.local):
+    """Per-thread stack of active tracers (disabled default at the bottom).
+
+    Thread-local, not process-global: the service worker pool runs several
+    engine calls concurrently in one process, each under its own worker
+    tracer — a shared stack would interleave ``activate``/``pop`` pairs
+    across threads and attribute one worker's telemetry to another (or pop
+    the wrong tracer entirely).  Every thread starts with its own fresh
+    ``[NULL_TRACER]`` bottom, so single-threaded semantics are unchanged.
+    """
+
+    def __init__(self):
+        self.stack: List[Any] = [NULL_TRACER]
+
+
+_ACTIVE = _TracerStack()
 
 
 def current_tracer():
-    """The innermost active tracer (:data:`NULL_TRACER` when none is)."""
-    return _ACTIVE[-1]
+    """The innermost active tracer *of this thread* (:data:`NULL_TRACER`
+    when none is)."""
+    return _ACTIVE.stack[-1]
 
 
 @contextmanager
@@ -275,10 +291,12 @@ def activate(tracer) -> Iterator[Any]:
     :func:`current_tracer`, so activation is how a run's telemetry flows
     into one collector without threading it through every signature —
     including inside pool workers, where the task wrapper activates a
-    fresh buffer (:mod:`repro.obs.parallel`).
+    fresh buffer (:mod:`repro.obs.parallel`).  Activation is scoped to the
+    calling thread (see :class:`_TracerStack`).
     """
-    _ACTIVE.append(tracer)
+    stack = _ACTIVE.stack
+    stack.append(tracer)
     try:
         yield tracer
     finally:
-        _ACTIVE.pop()
+        stack.pop()

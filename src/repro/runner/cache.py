@@ -7,14 +7,18 @@ artifact stored under that key is plain JSON, so a cache hit replays the
 exact rows of the original run — and editing any module under
 ``src/repro/`` silently invalidates every prior entry.
 
-Layout::
+Storage is pluggable (:mod:`repro.runner.backends`): the default
+:class:`~repro.runner.backends.DirectoryBackend` keeps the original local
+layout ::
 
     <root>/<key[:2]>/<key>.json
 
 with ``root`` resolved from (in order) the constructor argument, the
 ``REPRO_CACHE_DIR`` environment variable, and the default
 ``~/.cache/repro-bougard`` (falling back to ``.repro-cache`` in the working
-directory when no home directory is available).
+directory when no home directory is available).  A
+:class:`~repro.runner.backends.SharedDirectoryBackend` adds cross-process
+file locking so N service workers can share one cache directory.
 """
 
 from __future__ import annotations
@@ -22,11 +26,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import re
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.obs.tracer import current_tracer
+from repro.runner.backends import CacheBackend, DirectoryBackend
 from repro.sim.monitor import CounterMonitor
 
 #: Environment variable overriding the default cache root.
@@ -98,7 +102,13 @@ class ResultCache:
     ----------
     root:
         Cache directory; created lazily on the first :meth:`store`.
-        ``None`` resolves via :func:`default_cache_root`.
+        ``None`` resolves via :func:`default_cache_root`.  Ignored when a
+        ``backend`` is given.
+    backend:
+        A ready :class:`~repro.runner.backends.CacheBackend`; ``None``
+        builds the default :class:`~repro.runner.backends.DirectoryBackend`
+        over ``root`` — exactly the historical layout, so caches written
+        before the backend extraction keep hitting.
 
     Examples
     --------
@@ -113,8 +123,13 @@ class ResultCache:
     1
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
-        self.root = Path(root) if root is not None else default_cache_root()
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 backend: Optional[CacheBackend] = None):
+        if backend is None:
+            backend = DirectoryBackend(
+                Path(root) if root is not None else default_cache_root())
+        self.backend = backend
+        self.root = backend.root
         #: Instance-local event counts (hit/miss/store/prune); the same
         #: events also feed the active tracer's ``cache.*`` counters.
         self.counters = CounterMonitor("cache")
@@ -131,7 +146,7 @@ class ResultCache:
 
     def path_for(self, key: str) -> Path:
         """Artifact path of ``key`` (whether or not it exists)."""
-        return self.root / key[:2] / f"{key}.json"
+        return self.backend.path_for(key)
 
     # -- round trip ---------------------------------------------------------------
     def load(self, key: str) -> Optional[Dict[str, Any]]:
@@ -146,46 +161,26 @@ class ResultCache:
 
     def _load_artifact(self, key: str) -> Optional[Dict[str, Any]]:
         """:meth:`load` without the hit/miss accounting (maintenance use)."""
-        path = self.path_for(key)
-        if not path.is_file():
-            return None
-        try:
-            return json.loads(path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                pass  # read-only store: recompute without healing
-            return None
+        return self.backend.load(key)
 
     def store(self, key: str, artifact: Mapping[str, Any]) -> Path:
         """Write ``artifact`` under ``key`` (atomically) and return its path.
 
-        The temporary name is per-process so concurrent writers of the same
-        key cannot tear each other's artifact; whichever ``os.replace`` runs
-        last wins with a complete file.
+        Stores are write-temp-then-rename with an fsync on the temporary
+        file (unique name per store call), so concurrent writers of the
+        same key cannot tear each other's artifact and a concurrent reader
+        never observes partial JSON; whichever rename runs last wins with a
+        complete file.
         """
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_suffix(f".{os.getpid()}.tmp")
-        temporary.write_text(json.dumps(artifact, indent=1, sort_keys=True),
-                             encoding="utf-8")
-        os.replace(temporary, path)
+        path = self.backend.store(key, artifact)
         self._count("store")
         return path
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether anything was removed."""
-        path = self.path_for(key)
-        if path.is_file():
-            path.unlink()
-            return True
-        return False
+        return self.backend.delete(key)
 
     # -- maintenance --------------------------------------------------------------
-    #: Shape of a stored key: 64 lowercase hex digits (sha-256).
-    _KEY_PATTERN = re.compile(r"[0-9a-f]{64}")
-
     def keys(self) -> Iterator[str]:
         """All stored keys.
 
@@ -195,13 +190,7 @@ class ResultCache:
         never be treated (or deleted!) as a cache entry by
         :meth:`clear`/:meth:`prune_stale`.
         """
-        if not self.root.is_dir():
-            return
-        for path in sorted(self.root.glob("*/*.json")):
-            key = path.stem
-            if self._KEY_PATTERN.fullmatch(key) and \
-                    path.parent.name == key[:2]:
-                yield key
+        return self.backend.keys()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())

@@ -11,6 +11,8 @@ Usage (with ``src`` on ``PYTHONPATH`` or the package installed)::
     python -m repro obs report trace.json     # self-time/phase breakdown
     python -m repro sweep run node_density    # design-space exploration
     python -m repro bench --quick --check     # perf-trajectory smoke
+    python -m repro serve --workers 2         # job queue + HTTP API
+    python -m repro jobs submit case_study --wait  # client of 'serve'
     python -m repro cache                     # cache artifacts
     python -m repro cache stats               # size / per-experiment stats
     python -m repro cache --clear             # drop every artifact
@@ -137,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "'prune' deletes entries by criterion")
     cache_parser.add_argument("--cache-dir", default=None,
                               help="cache directory to inspect")
+    cache_parser.add_argument("--backend", choices=["directory", "shared"],
+                              default="directory",
+                              help="cache backend to inspect through; "
+                                   "'shared' reports its lock/contention "
+                                   "counters in 'stats'")
     cache_parser.add_argument("--clear", action="store_true",
                               help="remove every stored artifact")
     cache_parser.add_argument("--keep-current", action="store_true",
@@ -167,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_sweep_parser(commands)
     from repro.bench.cli import add_bench_parser
     add_bench_parser(commands)
+    from repro.service.cli import add_service_parsers
+    add_service_parsers(commands)
     return parser
 
 
@@ -267,10 +276,13 @@ def _print_report(report: Dict[str, Any]) -> None:
 
 
 def _command_cache(arguments: argparse.Namespace) -> int:
-    cache = ResultCache(root=arguments.cache_dir)
+    from repro.runner.backends import resolve_backend
+    backend = resolve_backend(arguments.backend, arguments.cache_dir)
+    cache = ResultCache(backend=backend)
     if arguments.action == "stats":
         stats = cache.stats()
         print(f"cache root: {stats['root']}")
+        print(f"backend:    {backend.kind}")
         print(f"entries:    {stats['entries']}")
         print(f"total size: {stats['total_bytes']} bytes")
         for name, bucket in stats["by_experiment"].items():
@@ -280,6 +292,11 @@ def _command_cache(arguments: argparse.Namespace) -> int:
         session = ", ".join(f"{key}={counters[key]}"
                             for key in sorted(counters)) or "none"
         print(f"session counters: {session}")
+        backend_counters = backend.describe()["counters"]
+        if backend_counters or arguments.backend == "shared":
+            locks = ", ".join(f"{key}={backend_counters[key]}"
+                              for key in sorted(backend_counters)) or "none"
+            print(f"backend counters: {locks}")
         return 0
     if arguments.action == "prune":
         if not arguments.keep_current:
@@ -336,6 +353,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif arguments.command == "bench":
         from repro.bench.cli import command_bench
         handler = command_bench
+    elif arguments.command == "serve":
+        from repro.service.cli import command_serve
+        handler = command_serve
+    elif arguments.command == "jobs":
+        from repro.service.cli import command_jobs
+        handler = command_jobs
     else:
         handler = {"list": _command_list,
                    "run": _command_run,

@@ -23,6 +23,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.obs.parallel import TracedExecutor
 from repro.obs.tracer import activate, current_tracer
+from repro.runner.backends import CacheBackend, resolve_backend
 from repro.runner.cache import NullCache, ResultCache, code_version
 from repro.runner.executor import make_executor
 from repro.runner.registry import (ExperimentRegistry, RunContext,
@@ -54,12 +55,18 @@ def resolve_cache(cache: Any = True,
 
     ``True`` builds the default on-disk cache (honouring ``cache_root`` and
     the ``REPRO_CACHE_DIR`` environment variable), ``False``/``None`` a
-    :class:`NullCache`; an existing cache object is passed through.
+    :class:`NullCache`; a :class:`~repro.runner.backends.CacheBackend`
+    instance or kind name (``"directory"``/``"shared"``) wraps in a
+    :class:`ResultCache` over that backend (kind names are how the sweep
+    driver ships a shared backend to process-pool workers); an existing
+    cache object is passed through.
     """
     if cache is True:
         return ResultCache(root=cache_root)
     if cache is False or cache is None:
         return NullCache()
+    if isinstance(cache, (CacheBackend, str)):
+        return ResultCache(backend=resolve_backend(cache, cache_root))
     return cache
 
 
@@ -169,3 +176,11 @@ def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
     """Parameters as they enter the cache key (JSON-safe, tuples as lists)."""
     from repro.runner.drivers import jsonify
     return jsonify(dict(params))
+
+
+def canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Public form of :func:`_canonical_params` — the exact JSON-safe
+    parameter mapping that enters a run's cache key.  Callers above the
+    runner (``Session.cache_key``, the service job hasher) use it so their
+    identities coincide with the engine's."""
+    return _canonical_params(params)

@@ -1,0 +1,339 @@
+"""Sqlite-backed job queue with atomic claim semantics.
+
+One :class:`JobStore` file is the coordination point of the service: the
+HTTP frontend submits into it, N workers (threads or separate processes)
+drain it, and every mutation is one short ``BEGIN IMMEDIATE`` transaction,
+so claims are atomic — two workers can never claim the same job, whatever
+their process topology.  The store keeps:
+
+* the job's canonical spec payload (what a worker needs to execute it),
+* its :class:`~repro.service.jobs.JobState` lifecycle with a bounded
+  ``attempts`` counter (crash requeue stops at ``max_attempts``),
+* liveness (``worker``, ``heartbeat_unix_s``) so peers can
+  :meth:`requeue_stale` work whose worker died mid-run,
+* and, on completion, the rendered result text — the exact bytes
+  ``GET /v1/jobs/{id}/result`` serves.
+
+Durability choices: WAL journal mode (readers never block the single
+writer), a generous busy timeout instead of hand-rolled retry loops, and a
+fresh connection per operation so the store is safe to share across
+threads without connection pooling.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import closing, contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.service.jobs import JobState
+
+#: Default bound on execution attempts before a job is marked failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    seq INTEGER,
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    worker TEXT,
+    submitted_unix_s REAL NOT NULL,
+    heartbeat_unix_s REAL,
+    error TEXT,
+    cache_key TEXT,
+    result TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, seq);
+"""
+
+_COLUMNS = ("job_id", "seq", "spec", "state", "attempts", "max_attempts",
+            "worker", "submitted_unix_s", "heartbeat_unix_s", "error",
+            "cache_key")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job row (without the result text — fetch that separately)."""
+
+    job_id: str
+    seq: int
+    spec: Dict[str, Any]
+    state: str
+    attempts: int
+    max_attempts: int
+    worker: Optional[str]
+    submitted_unix_s: float
+    heartbeat_unix_s: Optional[float]
+    error: Optional[str]
+    cache_key: Optional[str]
+
+    def to_status(self) -> Dict[str, Any]:
+        """The JSON status document ``GET /v1/jobs/{id}`` serves."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "kind": self.spec.get("kind"),
+            "name": self.spec.get("name"),
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "cache_key": self.cache_key,
+        }
+
+
+def _record(row) -> JobRecord:
+    values = dict(zip(_COLUMNS, row))
+    values["spec"] = json.loads(values["spec"])
+    return JobRecord(**values)
+
+
+class JobStore:
+    """The sqlite job queue (see the module docstring).
+
+    Parameters
+    ----------
+    path:
+        Database file; parent directories are created.  ``":memory:"`` is
+        rejected — a memory store cannot coordinate anything.
+    max_attempts:
+        Default execution-attempt bound of submitted jobs.
+    clock:
+        Unix-time source (injectable for the staleness tests).
+    """
+
+    def __init__(self, path: Union[str, Path], *,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 clock: Callable[[], float] = time.time):
+        if str(path) == ":memory:":
+            raise ValueError("JobStore needs a shared database file; "
+                             "':memory:' cannot coordinate workers")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+        with self._connect() as connection:
+            connection.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path, timeout=30.0,
+                                     isolation_level=None)
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        return connection
+
+    @contextmanager
+    def _transaction(self) -> Iterator[sqlite3.Cursor]:
+        """One ``BEGIN IMMEDIATE`` write transaction (atomic, exclusive)."""
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                yield connection.cursor()
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+            connection.execute("COMMIT")
+
+    # -- submission ---------------------------------------------------------------
+    def submit(self, job_id: str, spec_payload: Dict[str, Any], *,
+               cache_key: Optional[str] = None,
+               max_attempts: Optional[int] = None) -> Dict[str, Any]:
+        """Enqueue a job (idempotent — duplicate specs share one id).
+
+        A new id inserts a ``queued`` row.  An existing id is *not*
+        duplicated: live or finished jobs are returned as they are (the
+        dedup path — the caller polls the same id everyone else does),
+        while ``failed``/``cancelled`` jobs are requeued with a fresh
+        attempt budget.  Returns ``{"job_id", "state", "created",
+        "requeued"}``.
+        """
+        now = self._clock()
+        with self._transaction() as cursor:
+            cursor.execute("SELECT state FROM jobs WHERE job_id = ?",
+                           (job_id,))
+            row = cursor.fetchone()
+            if row is None:
+                cursor.execute("SELECT COALESCE(MAX(seq), 0) + 1 FROM jobs")
+                seq = cursor.fetchone()[0]
+                cursor.execute(
+                    "INSERT INTO jobs (job_id, seq, spec, state, attempts, "
+                    "max_attempts, submitted_unix_s, cache_key) "
+                    "VALUES (?, ?, ?, ?, 0, ?, ?, ?)",
+                    (job_id, seq, json.dumps(spec_payload, sort_keys=True),
+                     JobState.QUEUED,
+                     self.max_attempts if max_attempts is None
+                     else int(max_attempts),
+                     now, cache_key))
+                return {"job_id": job_id, "state": JobState.QUEUED,
+                        "created": True, "requeued": False}
+            state = row[0]
+            if state in (JobState.FAILED, JobState.CANCELLED):
+                cursor.execute(
+                    "UPDATE jobs SET state = ?, attempts = 0, error = NULL, "
+                    "worker = NULL, submitted_unix_s = ? WHERE job_id = ?",
+                    (JobState.QUEUED, now, job_id))
+                return {"job_id": job_id, "state": JobState.QUEUED,
+                        "created": False, "requeued": True}
+            return {"job_id": job_id, "state": state, "created": False,
+                    "requeued": False}
+
+    # -- worker protocol ----------------------------------------------------------
+    def claim(self, worker: str) -> Optional[JobRecord]:
+        """Atomically claim the oldest queued job for ``worker``.
+
+        The SELECT and the guarded UPDATE run inside one ``BEGIN
+        IMMEDIATE`` transaction, so no two workers — threads or separate
+        processes — can claim the same row.  Claiming increments
+        ``attempts``.  Returns the claimed record, or ``None`` when the
+        queue is empty.
+        """
+        now = self._clock()
+        with self._transaction() as cursor:
+            cursor.execute(
+                "SELECT job_id FROM jobs WHERE state = ? "
+                "ORDER BY seq LIMIT 1", (JobState.QUEUED,))
+            row = cursor.fetchone()
+            if row is None:
+                return None
+            job_id = row[0]
+            cursor.execute(
+                "UPDATE jobs SET state = ?, worker = ?, "
+                "heartbeat_unix_s = ?, attempts = attempts + 1 "
+                "WHERE job_id = ? AND state = ?",
+                (JobState.RUNNING, worker, now, job_id, JobState.QUEUED))
+            if cursor.rowcount != 1:  # pragma: no cover - defended by the
+                return None           # IMMEDIATE transaction
+            cursor.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE job_id = ?",
+                (job_id,))
+            return _record(cursor.fetchone())
+
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        """Refresh the liveness stamp of a running claim."""
+        with self._transaction() as cursor:
+            cursor.execute(
+                "UPDATE jobs SET heartbeat_unix_s = ? "
+                "WHERE job_id = ? AND worker = ? AND state = ?",
+                (self._clock(), job_id, worker, JobState.RUNNING))
+            return cursor.rowcount == 1
+
+    def finish(self, job_id: str, worker: str, *, result_text: str,
+               cache_key: Optional[str] = None) -> bool:
+        """Complete a running claim with its rendered result text."""
+        with self._transaction() as cursor:
+            cursor.execute(
+                "UPDATE jobs SET state = ?, result = ?, cache_key = "
+                "COALESCE(?, cache_key), error = NULL "
+                "WHERE job_id = ? AND worker = ? AND state = ?",
+                (JobState.DONE, result_text, cache_key, job_id, worker,
+                 JobState.RUNNING))
+            return cursor.rowcount == 1
+
+    def fail(self, job_id: str, worker: str, error: str) -> Optional[str]:
+        """Record a failed attempt; requeue while attempts remain.
+
+        Returns the job's new state (``queued`` for a retry, ``failed``
+        once the attempt budget is spent), or ``None`` when the claim was
+        no longer held.
+        """
+        with self._transaction() as cursor:
+            cursor.execute(
+                "SELECT attempts, max_attempts FROM jobs "
+                "WHERE job_id = ? AND worker = ? AND state = ?",
+                (job_id, worker, JobState.RUNNING))
+            row = cursor.fetchone()
+            if row is None:
+                return None
+            attempts, max_attempts = row
+            new_state = (JobState.FAILED if attempts >= max_attempts
+                         else JobState.QUEUED)
+            cursor.execute(
+                "UPDATE jobs SET state = ?, error = ?, worker = NULL "
+                "WHERE job_id = ?",
+                (new_state, error, job_id))
+            return new_state
+
+    def requeue_stale(self, stale_after_s: float) -> Dict[str, int]:
+        """Recover jobs whose worker stopped heartbeating (crash requeue).
+
+        A running job whose heartbeat is older than ``stale_after_s``
+        seconds goes back to ``queued`` while attempts remain, else to
+        ``failed`` (error ``"worker lost"``).  Returns
+        ``{"requeued": n, "failed": m}``.
+        """
+        cutoff = self._clock() - stale_after_s
+        outcome = {"requeued": 0, "failed": 0}
+        with self._transaction() as cursor:
+            cursor.execute(
+                "SELECT job_id, attempts, max_attempts FROM jobs "
+                "WHERE state = ? AND heartbeat_unix_s < ?",
+                (JobState.RUNNING, cutoff))
+            for job_id, attempts, max_attempts in cursor.fetchall():
+                stale = (JobState.FAILED if attempts >= max_attempts
+                         else JobState.QUEUED)
+                cursor.execute(
+                    "UPDATE jobs SET state = ?, worker = NULL, "
+                    "error = COALESCE(error, 'worker lost') "
+                    "WHERE job_id = ? AND state = ?",
+                    (stale, job_id, JobState.RUNNING))
+                outcome["requeued" if stale == JobState.QUEUED
+                        else "failed"] += cursor.rowcount
+        return outcome
+
+    # -- client protocol ----------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job (running/terminal jobs are left alone)."""
+        with self._transaction() as cursor:
+            cursor.execute(
+                "UPDATE jobs SET state = ? WHERE job_id = ? AND state = ?",
+                (JobState.CANCELLED, job_id, JobState.QUEUED))
+            return cursor.rowcount == 1
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """One job's record, or ``None`` for an unknown id."""
+        with closing(self._connect()) as connection:
+            cursor = connection.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE job_id = ?",
+                (job_id,))
+            row = cursor.fetchone()
+            return None if row is None else _record(row)
+
+    def result_text(self, job_id: str) -> Optional[str]:
+        """The stored result text of a done job (``None`` otherwise)."""
+        with closing(self._connect()) as connection:
+            cursor = connection.execute(
+                "SELECT result FROM jobs WHERE job_id = ? AND state = ?",
+                (job_id, JobState.DONE))
+            row = cursor.fetchone()
+            return None if row is None else row[0]
+
+    def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """Every job record (optionally filtered by state), oldest first."""
+        query = f"SELECT {', '.join(_COLUMNS)} FROM jobs"
+        args: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            args = (state,)
+        query += " ORDER BY seq"
+        with closing(self._connect()) as connection:
+            return [_record(row)
+                    for row in connection.execute(query, args).fetchall()]
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts per lifecycle state (zero-filled, stable order)."""
+        with closing(self._connect()) as connection:
+            rows = connection.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state").fetchall()
+        counts = {state: 0 for state in JobState.ALL}
+        counts.update(dict(rows))
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"JobStore(path={str(self.path)!r})"

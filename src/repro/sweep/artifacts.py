@@ -64,6 +64,23 @@ def manifest_text(result: SweepRunResult) -> str:
     return json.dumps(sweep_manifest(result), indent=2, sort_keys=True) + "\n"
 
 
+def sweep_json_payload(result: SweepRunResult) -> Dict[str, Any]:
+    """The combined JSON artifact payload (manifest + wide + long rows)."""
+    return {"manifest": sweep_manifest(result), "rows": list(result.rows),
+            "long_rows": result.long_rows()}
+
+
+def sweep_json_text(result: SweepRunResult) -> str:
+    """The combined artifact as deterministic JSON text.
+
+    Byte-identical to the ``<name>.json`` file :func:`export_sweep`
+    writes — the canonical machine-readable form of one sweep run, which
+    is also what the service layer serves for finished sweep jobs.
+    """
+    return json.dumps(sweep_json_payload(result), indent=2,
+                      sort_keys=True) + "\n"
+
+
 def export_sweep(result: SweepRunResult, out_dir: os.PathLike,
                  name: Optional[str] = None) -> Dict[str, Path]:
     """Write the sweep's CSV/JSON tables and manifest into ``out_dir``.
@@ -75,7 +92,6 @@ def export_sweep(result: SweepRunResult, out_dir: os.PathLike,
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     name = name or result.spec.name
-    manifest = sweep_manifest(result)
     wide_columns = (["point"] + result.spec.axis_names()
                     + list(result.metric_names))
     long_rows = result.long_rows()
@@ -89,9 +105,5 @@ def export_sweep(result: SweepRunResult, out_dir: os.PathLike,
         "json": out_dir / f"{name}.json",
     }
     paths["manifest"].write_text(manifest_text(result), encoding="utf-8")
-    combined = {"manifest": manifest, "rows": list(result.rows),
-                "long_rows": long_rows}
-    paths["json"].write_text(
-        json.dumps(combined, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    paths["json"].write_text(sweep_json_text(result), encoding="utf-8")
     return paths

@@ -266,13 +266,17 @@ def run_sweep(spec: SweepSpec,
         if isinstance(executor, TracedExecutor) else executor
     # Serial runs hand any cache object straight through; process workers
     # rebuild theirs from plain-data settings — a cache *object* ships as
-    # ``(True, its root)`` so workers hit the same on-disk store instead of
-    # silently falling back to the default directory.
+    # its backend's ``transport`` token plus the root (``True`` for the
+    # plain directory layout, ``"shared"`` for the locking shared-directory
+    # backend), so workers hit the same on-disk store with the same
+    # concurrency guarantees instead of silently falling back to the
+    # default directory.
     if isinstance(inner_executor, SerialExecutor) or \
-            isinstance(cache, (bool, NullCache)) or cache is None:
+            isinstance(cache, (bool, str, NullCache)) or cache is None:
         cache_setting = cache
     else:
-        cache_setting = True
+        backend = getattr(cache, "backend", cache)
+        cache_setting = getattr(backend, "transport", True)
         root = getattr(cache, "root", None)
         if root is not None and cache_root is None:
             cache_root = str(root)

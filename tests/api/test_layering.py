@@ -23,7 +23,8 @@ def test_importing_the_runner_pulls_in_no_upper_layer():
     completed = _run(
         "import sys; import repro.runner, repro.runner.cli; "
         "offenders = sorted(m for m in sys.modules "
-        "if m.startswith(('repro.api', 'repro.sweep', 'repro.bench'))); "
+        "if m.startswith(('repro.api', 'repro.sweep', 'repro.bench', "
+        "'repro.service'))); "
         "assert not offenders, offenders")
     assert completed.returncode == 0, completed.stderr
 
@@ -52,6 +53,55 @@ def test_importing_obs_pulls_in_nothing_above_the_sim_substrate():
         "offenders = sorted(m for m in set(sys.modules) - base "
         "if m.startswith('repro.') "
         "and not m.startswith(('repro.obs', 'repro.sim'))); "
+        "assert not offenders, offenders")
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_importing_the_facade_pulls_in_no_service_layer():
+    """``repro.service`` sits *above* the façade; importing ``repro.api``
+    must not load it (the CLI wires serve/jobs in lazily)."""
+    completed = _run(
+        "import sys; import repro.api; "
+        "offenders = sorted(m for m in sys.modules "
+        "if m.startswith('repro.service')); "
+        "assert not offenders, offenders")
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_service_sources_import_nothing_below_the_facade():
+    """Static check of the service seam: every ``repro.*`` import in
+    ``src/repro/service/`` is the façade, the obs layer, the service
+    package itself, or the cache-backend protocol — never the runner,
+    sweep, bench or simulation layers directly.  CI runs the same
+    assertion as a standalone step."""
+    import ast
+
+    allowed = ("repro.api", "repro.obs", "repro.service",
+               "repro.runner.backends")
+    offenders = []
+    for path in sorted((SRC / "repro" / "service").glob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            names = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                if name.startswith("repro") and not name.startswith(allowed):
+                    offenders.append(f"{path.name}: {name}")
+    assert not offenders, offenders
+
+
+def test_importing_the_service_loads_no_layer_below_the_facade_directly():
+    """Runtime counterpart: loading ``repro.service`` only reaches the
+    engine through the modules ``repro.api`` itself already loaded."""
+    completed = _run(
+        "import sys; import repro.api; base = set(sys.modules); "
+        "import repro.service, repro.service.cli; "
+        "offenders = sorted(m for m in set(sys.modules) - base "
+        "if m.startswith('repro.') "
+        "and not m.startswith(('repro.service', 'repro.obs'))); "
         "assert not offenders, offenders")
     assert completed.returncode == 0, completed.stderr
 

@@ -1,0 +1,208 @@
+"""Tests of the sqlite job store: claims, retries, staleness, dedup."""
+
+import threading
+
+import pytest
+
+from repro.service import JobState, JobStore
+
+JOB = {"kind": "run", "experiment": "fig3_radio", "params": {}, "seed": 1,
+       "code_version": "v"}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs.sqlite")
+
+
+def _submit(store, job_id="j1", **kwargs):
+    return store.submit(job_id, dict(JOB), **kwargs)
+
+
+class TestSubmit:
+    def test_first_submission_creates(self, store):
+        receipt = _submit(store)
+        assert receipt == {"job_id": "j1", "state": JobState.QUEUED,
+                           "created": True, "requeued": False}
+        record = store.get("j1")
+        assert record.state == JobState.QUEUED
+        assert record.spec == JOB
+        assert record.attempts == 0
+
+    def test_duplicate_submission_is_idempotent(self, store):
+        _submit(store)
+        receipt = _submit(store)
+        assert receipt["created"] is False
+        assert receipt["requeued"] is False
+        assert store.counts()[JobState.QUEUED] == 1
+
+    def test_resubmitting_a_failed_job_requeues_it(self, store):
+        _submit(store)
+        record = store.claim("w")
+        for _ in range(3):
+            store.fail(record.job_id, "w", "boom")
+            record = store.claim("w") or record
+        assert store.get("j1").state == JobState.FAILED
+        receipt = _submit(store)
+        assert receipt["created"] is False
+        assert receipt["requeued"] is True
+        fresh = store.get("j1")
+        assert fresh.state == JobState.QUEUED
+        assert fresh.attempts == 0
+        assert fresh.error is None
+
+    def test_memory_path_rejected(self):
+        with pytest.raises(ValueError, match="memory"):
+            JobStore(":memory:")
+
+
+class TestClaim:
+    def test_claim_marks_running(self, store):
+        _submit(store)
+        record = store.claim("w0")
+        assert record.job_id == "j1"
+        assert record.state == JobState.RUNNING
+        assert record.worker == "w0"
+        assert record.attempts == 1
+
+    def test_oldest_job_first(self, store):
+        for index in range(3):
+            _submit(store, f"j{index}")
+        assert store.claim("w").job_id == "j0"
+        assert store.claim("w").job_id == "j1"
+
+    def test_empty_queue_claims_nothing(self, store):
+        assert store.claim("w") is None
+
+    def test_concurrent_workers_never_double_claim(self, tmp_path):
+        """The atomic-claim contract: N threads hammering claim() on one
+        store each win disjoint jobs, every job exactly once."""
+        store_path = tmp_path / "jobs.sqlite"
+        setup = JobStore(store_path)
+        total = 24
+        for index in range(total):
+            setup.submit(f"job-{index:03d}", dict(JOB))
+        claims = {worker: [] for worker in range(6)}
+        errors = []
+
+        def drain(worker):
+            worker_store = JobStore(store_path)
+            while True:
+                try:
+                    record = worker_store.claim(f"w{worker}")
+                except Exception as error:  # pragma: no cover - diagnostics
+                    errors.append(error)
+                    return
+                if record is None:
+                    return
+                claims[worker].append(record.job_id)
+
+        threads = [threading.Thread(target=drain, args=(worker,))
+                   for worker in claims]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        claimed = [job for jobs in claims.values() for job in jobs]
+        assert len(claimed) == total
+        assert len(set(claimed)) == total  # no job claimed twice
+
+
+class TestLifecycle:
+    def test_finish_stores_the_result(self, store):
+        _submit(store)
+        record = store.claim("w")
+        store.finish(record.job_id, "w", result_text='{"rows": []}',
+                     cache_key="k" * 64)
+        done = store.get("j1")
+        assert done.state == JobState.DONE
+        assert done.cache_key == "k" * 64
+        assert store.result_text("j1") == '{"rows": []}'
+
+    def test_result_text_requires_done(self, store):
+        _submit(store)
+        assert store.result_text("j1") is None
+        assert store.result_text("missing") is None
+
+    def test_fail_requeues_until_the_attempt_budget(self, store):
+        _submit(store)
+        outcomes = []
+        for _ in range(3):
+            record = store.claim("w")
+            outcomes.append(store.fail(record.job_id, "w", "boom"))
+        assert outcomes == [JobState.QUEUED, JobState.QUEUED,
+                            JobState.FAILED]
+        final = store.get("j1")
+        assert final.state == JobState.FAILED
+        assert final.attempts == 3
+        assert "boom" in final.error
+
+    def test_finish_by_a_stranger_is_ignored(self, store):
+        """A worker whose claim was requeued from under it (presumed dead,
+        then it woke up) must not overwrite the rightful worker's job."""
+        _submit(store)
+        store.claim("w0")
+        store.requeue_stale(stale_after_s=-1)  # force the requeue
+        record = store.claim("w1")
+        assert store.finish(record.job_id, "w0", result_text="{}") is False
+        assert store.get("j1").state == JobState.RUNNING
+        assert store.finish(record.job_id, "w1", result_text="{}") is True
+
+    def test_cancel_only_touches_queued_jobs(self, store):
+        _submit(store)
+        assert store.cancel("j1") is True
+        assert store.get("j1").state == JobState.CANCELLED
+        _submit(store, "j2")
+        store.claim("w")
+        assert store.cancel("j2") is False
+        assert store.cancel("missing") is False
+
+    def test_counts_are_zero_filled(self, store):
+        counts = store.counts()
+        assert counts == {state: 0 for state in JobState.ALL}
+        _submit(store)
+        assert store.counts()[JobState.QUEUED] == 1
+
+
+class TestStaleRequeue:
+    def test_silent_claims_requeue_after_the_deadline(self, tmp_path):
+        now = [1000.0]
+        store = JobStore(tmp_path / "jobs.sqlite", clock=lambda: now[0])
+        _submit(store)
+        store.claim("ghost")
+        assert store.requeue_stale(stale_after_s=30) == {"requeued": 0,
+                                                         "failed": 0}
+        now[0] += 31
+        assert store.requeue_stale(stale_after_s=30) == {"requeued": 1,
+                                                         "failed": 0}
+        record = store.get("j1")
+        assert record.state == JobState.QUEUED
+        assert "worker lost" in record.error
+
+    def test_heartbeats_keep_a_claim_alive(self, tmp_path):
+        now = [1000.0]
+        store = JobStore(tmp_path / "jobs.sqlite", clock=lambda: now[0])
+        _submit(store)
+        store.claim("w")
+        now[0] += 25
+        assert store.heartbeat("j1", "w") is True
+        now[0] += 25  # 50s since claim, 25s since heartbeat
+        assert store.requeue_stale(stale_after_s=30)["requeued"] == 0
+
+    def test_stale_requeue_respects_the_attempt_budget(self, tmp_path):
+        now = [0.0]
+        store = JobStore(tmp_path / "jobs.sqlite", max_attempts=2,
+                         clock=lambda: now[0])
+        _submit(store)
+        for expected in ({"requeued": 1, "failed": 0},
+                         {"requeued": 0, "failed": 1}):
+            store.claim("ghost")
+            now[0] += 100
+            assert store.requeue_stale(stale_after_s=30) == expected
+        assert store.get("j1").state == JobState.FAILED
+
+    def test_heartbeat_from_a_stranger_is_rejected(self, store):
+        _submit(store)
+        store.claim("w0")
+        assert store.heartbeat("j1", "intruder") is False
