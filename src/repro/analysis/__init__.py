@@ -8,9 +8,12 @@ examples and the benchmark harness:
   for the paper's figures;
 * :mod:`repro.analysis.sweep` — generic parameter-sweep runner;
 * :mod:`repro.analysis.report` — experiment report assembly (paper value vs
-  measured value, relative error, pass/fail against a tolerance band).
+  measured value, relative error, pass/fail against a tolerance band);
+* :mod:`repro.analysis.keys` — type-aware value keys (``bool`` never
+  conflated with ``int``) shared by every row grouping/filtering helper.
 """
 
+from repro.analysis.keys import typed_key, values_equal
 from repro.analysis.report import ComparisonRow, ExperimentReport
 from repro.analysis.series import Series, SeriesCollection
 from repro.analysis.sweep import ParameterSweep, SweepResult
@@ -18,6 +21,8 @@ from repro.analysis.tables import format_table
 
 __all__ = [
     "format_table",
+    "typed_key",
+    "values_equal",
     "Series",
     "SeriesCollection",
     "ParameterSweep",

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.analysis.keys import values_equal
 from repro.analysis.tables import format_table
 
 
@@ -39,10 +40,16 @@ class SweepResult:
         return [row[name] for row in self.rows]
 
     def filter(self, **criteria) -> List[Dict[str, Any]]:
-        """Rows whose parameters equal the given criteria."""
+        """Rows whose parameters equal the given criteria.
+
+        Equality is type-aware for booleans (``filter(flag=True)`` never
+        matches a row whose value is the integer ``1`` and vice versa —
+        see :func:`repro.analysis.keys.values_equal`).
+        """
         selected = []
         for row in self.rows:
-            if all(row.get(key) == value for key, value in criteria.items()):
+            if all(values_equal(row.get(key), value)
+                   for key, value in criteria.items()):
                 selected.append(row)
         return selected
 

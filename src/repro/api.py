@@ -42,9 +42,13 @@ from repro.runner.params import (ParamSchema, ParamSpec, ParameterValueError,
 from repro.runner.registry import (ExperimentRegistry, ExperimentSpec,
                                    UnknownExperimentError, default_registry)
 from repro.runner.result import RunResult
-from repro.sweep.artifacts import sweep_json_text
-from repro.sweep.catalog import UnknownSweepError, get_sweep
+from repro.sweep.artifacts import optimize_json_text, sweep_json_text
+from repro.sweep.catalog import (UnknownOptimizeError, UnknownSweepError,
+                                 get_optimize, get_sweep)
 from repro.sweep.driver import SweepRunResult, run_sweep, sweep_status
+from repro.sweep.optimize import (ChoiceDimension, FloatDimension,
+                                  IntDimension, OptimizeResult, OptimizeSpec,
+                                  run_optimize)
 from repro.sweep.spec import GridAxis, RandomAxis, RangeAxis, SweepSpec
 
 __all__ = [
@@ -52,6 +56,13 @@ __all__ = [
     "RunResult",
     "SweepRunResult",
     "SweepSpec",
+    "OptimizeResult",
+    "OptimizeSpec",
+    "IntDimension",
+    "FloatDimension",
+    "ChoiceDimension",
+    "UnknownOptimizeError",
+    "optimize_json_text",
     "GridAxis",
     "RangeAxis",
     "RandomAxis",
@@ -225,6 +236,33 @@ class Session:
                            cache=self._cache, cache_root=self._cache_root,
                            registry=spec.registry or self._registry,
                            tracer=self._tracer)
+        self._flush_trace()
+        return result
+
+    def optimize(self, spec: Union[OptimizeSpec, str], *,
+                 quick: bool = False,
+                 jobs: Optional[int] = None) -> OptimizeResult:
+        """Run an adaptive design-space search (spec or catalogue name).
+
+        A string resolves through the optimizer catalogue
+        (:func:`repro.sweep.catalog.get_optimize`; ``quick=True`` selects
+        the scaled-down CI variant).  Every proposal batch dispatches
+        through the same executor/cache path as :meth:`sweep`, so a warm
+        re-run replays the identical proposal sequence from the session
+        cache and recomputes nothing.
+        """
+        if isinstance(spec, str):
+            spec = get_optimize(spec, quick=quick)
+        elif quick:
+            raise ValueError("quick=True only applies to catalogue names; "
+                             "build the quick variant of an explicit "
+                             "OptimizeSpec yourself")
+        result = run_optimize(spec,
+                              jobs=self._jobs if jobs is None else jobs,
+                              cache=self._cache,
+                              cache_root=self._cache_root,
+                              registry=spec.registry or self._registry,
+                              tracer=self._tracer)
         self._flush_trace()
         return result
 

@@ -85,6 +85,18 @@ class CacheBackend:
         """The stored artifact for ``key``, or ``None`` on a miss."""
         raise NotImplementedError
 
+    def exists(self, key: str) -> bool:
+        """Whether an artifact is stored under ``key`` — without reading it.
+
+        This is the cheap existence probe (a single ``stat``, no locking,
+        no JSON parse): status displays over thousand-point sweeps call it
+        once per point, so it must never open the payload.  The trade-off
+        is that a torn or corrupt artifact still *exists* here; only
+        :meth:`load` detects (and heals) corruption, so existence is
+        advisory — an actual run re-checks through :meth:`load`.
+        """
+        raise NotImplementedError
+
     def store(self, key: str, artifact: Mapping[str, Any]) -> Path:
         """Atomically write ``artifact`` under ``key``; return its path."""
         raise NotImplementedError
@@ -154,6 +166,16 @@ class DirectoryBackend(CacheBackend):
             except OSError:
                 pass  # read-only store: recompute without healing
             return None
+
+    def exists(self, key: str) -> bool:
+        """Lock-free stat of the artifact path — never opens the payload.
+
+        Inherited unchanged by :class:`SharedDirectoryBackend`: existence
+        probes deliberately bypass the per-key locks (a rename-in-progress
+        either already landed — ``True`` — or has not — ``False``; both
+        answers are coherent snapshots because stores are atomic).
+        """
+        return self.path_for(key).is_file()
 
     def store(self, key: str, artifact: Mapping[str, Any]) -> Path:
         path = self.path_for(key)

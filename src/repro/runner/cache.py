@@ -163,6 +163,19 @@ class ResultCache:
         """:meth:`load` without the hit/miss accounting (maintenance use)."""
         return self.backend.load(key)
 
+    def contains(self, key: str) -> bool:
+        """Whether an artifact is stored under ``key`` — without reading it.
+
+        A lock-free ``stat`` (:meth:`CacheBackend.exists`): no JSON parse,
+        no hit/miss accounting, safe to call once per point of a
+        thousand-point sweep status display.  Advisory by design — a
+        corrupt artifact still *exists* here; :meth:`load` is what detects
+        (and heals) corruption, and an actual run goes through
+        :meth:`load`, so a ``True`` from a torn file costs one recompute
+        at run time, never a wrong result.
+        """
+        return self.backend.exists(key)
+
     def store(self, key: str, artifact: Mapping[str, Any]) -> Path:
         """Write ``artifact`` under ``key`` (atomically) and return its path.
 
@@ -281,6 +294,10 @@ class NullCache:
     def load(self, key: str) -> None:
         """Always a miss."""
         return None
+
+    def contains(self, key: str) -> bool:
+        """Nothing is ever stored."""
+        return False
 
     def store(self, key: str, artifact: Mapping[str, Any]) -> None:
         """Drop the artifact."""

@@ -9,6 +9,11 @@ multi-point design-space study:
   tasks, chunk-wise dispatch through the serial/process-pool executors,
   per-point cache keys so interrupted or repeated sweeps resume from the
   result cache instead of recomputing;
+* :mod:`repro.sweep.optimize` — :func:`run_optimize`: adaptive
+  design-space search (seeded successive halving + a k-NN acquisition)
+  proposing batches over typed dimensions, dispatched through the same
+  executor/cache path — a warm re-run replays the identical proposal
+  sequence from the cache and recomputes nothing;
 * :mod:`repro.sweep.analysis` — grouping/aggregation helpers, Pareto-front
   extraction and knee-point selection over arbitrary objectives;
 * :mod:`repro.sweep.artifacts` — byte-reproducible CSV/JSON exports plus a
@@ -29,22 +34,42 @@ Quick start::
     front = pareto_front(result.rows, spec.objectives)
 """
 
-from repro.sweep.analysis import (aggregate_rows, dominates, group_rows,
-                                  knee_point, pareto_front)
-from repro.sweep.artifacts import (export_sweep, ordered_columns,
+from repro.sweep.analysis import (GroupedRows, UnknownMetricError,
+                                  aggregate_rows, dominates, group_rows,
+                                  knee_point, pareto_front, require_metrics)
+from repro.sweep.artifacts import (export_optimize, export_sweep,
+                                   optimize_manifest, ordered_columns,
                                    rows_to_csv_text, rows_to_json_text,
                                    sweep_manifest, write_rows)
-from repro.sweep.catalog import (SweepDefinition, UnknownSweepError,
-                                 get_definition, get_sweep, iter_definitions,
+from repro.sweep.catalog import (OptimizeDefinition, SweepDefinition,
+                                 UnknownOptimizeError, UnknownSweepError,
+                                 get_definition, get_optimize,
+                                 get_optimize_definition, get_sweep,
+                                 iter_definitions,
+                                 iter_optimize_definitions, optimize_names,
                                  sweep_names)
 from repro.sweep.driver import (SweepPoint, SweepRunResult, SweepStatus,
+                                build_points, dispatch_points,
                                 expand_points, extract_point_metrics,
                                 run_sweep, sweep_status)
+from repro.sweep.optimize import (ChoiceDimension, FloatDimension,
+                                  IntDimension, OptimizeResult,
+                                  OptimizeRound, OptimizeSpec,
+                                  dimension_from_payload,
+                                  optimize_spec_from_payload, run_optimize)
 from repro.sweep.spec import (GridAxis, RandomAxis, RangeAxis, SweepSpec,
                               axis_from_payload, spec_from_payload)
 
 __all__ = [
+    "ChoiceDimension",
+    "FloatDimension",
     "GridAxis",
+    "GroupedRows",
+    "IntDimension",
+    "OptimizeDefinition",
+    "OptimizeResult",
+    "OptimizeRound",
+    "OptimizeSpec",
     "RandomAxis",
     "RangeAxis",
     "SweepDefinition",
@@ -52,22 +77,36 @@ __all__ = [
     "SweepRunResult",
     "SweepSpec",
     "SweepStatus",
+    "UnknownMetricError",
+    "UnknownOptimizeError",
     "UnknownSweepError",
     "aggregate_rows",
     "axis_from_payload",
+    "build_points",
+    "dimension_from_payload",
+    "dispatch_points",
     "dominates",
     "expand_points",
+    "export_optimize",
     "export_sweep",
     "extract_point_metrics",
     "get_definition",
+    "get_optimize",
+    "get_optimize_definition",
     "get_sweep",
     "group_rows",
     "iter_definitions",
+    "iter_optimize_definitions",
     "knee_point",
+    "optimize_manifest",
+    "optimize_names",
+    "optimize_spec_from_payload",
     "ordered_columns",
     "pareto_front",
+    "require_metrics",
     "rows_to_csv_text",
     "rows_to_json_text",
+    "run_optimize",
     "run_sweep",
     "spec_from_payload",
     "sweep_manifest",

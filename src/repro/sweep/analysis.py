@@ -19,10 +19,12 @@ dominate a point that did.
 
 from __future__ import annotations
 
+import difflib
 import math
-from typing import (Any, Callable, Dict, Hashable, List, Mapping, Optional,
-                    Sequence, Tuple)
+from typing import (Any, Callable, Dict, Hashable, Iterator, List, Mapping,
+                    Optional, Sequence, Tuple)
 
+from repro.analysis.keys import typed_key
 from repro.sweep.spec import SENSE_MAX, SENSE_MIN
 
 #: Statistics understood by :func:`aggregate_rows`.
@@ -33,6 +35,54 @@ _STATISTICS: Dict[str, Callable[[List[float]], float]] = {
     "sum": sum,
     "count": len,
 }
+
+
+class UnknownMetricError(KeyError):
+    """A requested objective/metric name was produced by no point.
+
+    Before this error existed, an objective absent from every payload
+    flowed through :func:`repro.sweep.driver.extract_point_metrics` and
+    ``long_rows`` as a silent ``None`` — which the Pareto helpers count as
+    *worst possible*, so a typo'd objective quietly produced an empty or
+    meaningless front.  The optimizer and the artifact exporters now fail
+    loudly instead, with ``difflib`` close-match suggestions over the
+    metric names the sweep actually observed.
+
+    A :class:`KeyError` subclass so callers catching ``KeyError`` (the
+    CLI's shared error path) render the message without a traceback.
+    """
+
+    def __init__(self, name: str, observed: Sequence[str],
+                 context: str = ""):
+        self.name = name
+        self.observed = tuple(observed)
+        prefix = f"{context}: " if context else ""
+        message = (f"{prefix}no point produced metric {name!r}; observed "
+                   f"metrics: {', '.join(sorted(self.observed)) or '(none)'}.")
+        suggestions = difflib.get_close_matches(name, self.observed, n=3)
+        if suggestions:
+            message += f" Did you mean: {', '.join(suggestions)}?"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return self.args[0]
+
+
+def require_metrics(requested: Mapping[str, Any] | Sequence[str],
+                    observed: Sequence[str],
+                    context: str = "") -> None:
+    """Fail loudly when a requested metric was produced by no point.
+
+    ``requested`` is a sequence of metric names or an objectives mapping
+    (its keys are checked); ``observed`` the metric names the sweep or
+    optimizer actually collected.  Raises :class:`UnknownMetricError` —
+    with did-you-mean suggestions — for the first missing name.
+    """
+    names = list(requested)
+    available = set(observed)
+    for name in names:
+        if name not in available:
+            raise UnknownMetricError(name, tuple(observed), context)
 
 
 def _cost_vector(row: Mapping[str, Any],
@@ -129,15 +179,63 @@ def knee_point(rows: Sequence[Mapping[str, Any]],
     return dict(best) if best is not None else None
 
 
+class GroupedRows(Mapping):
+    """Insertion-ordered mapping ``key tuple -> rows``, type-aware for bools.
+
+    Behaves like the plain dict :func:`group_rows` used to return — keys
+    are tuples of the grouping column values, lookups accept those raw
+    tuples — except that grouping discriminates ``bool`` from its numeric
+    spelling: a ``True`` axis value and an ``1`` axis value land in (and
+    look up) *different* groups, where a plain dict would silently merge
+    them (``hash(True) == hash(1)``).  Iteration yields every group's raw
+    key tuple, including both sides of a bool/int pair; only materialising
+    the keys into a plain ``dict``/``set`` would re-conflate them.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        # typed key tuple -> (raw key tuple, rows)
+        self._entries: Dict[Tuple[Hashable, ...],
+                            Tuple[Tuple[Hashable, ...],
+                                  List[Dict[str, Any]]]] = {}
+
+    @staticmethod
+    def _typed(key: Sequence[Hashable]) -> Tuple[Hashable, ...]:
+        return tuple(typed_key(value) for value in key)
+
+    def _append(self, key: Tuple[Hashable, ...], row: Dict[str, Any]) -> None:
+        entry = self._entries.setdefault(self._typed(key), (key, []))
+        entry[1].append(row)
+
+    def __getitem__(self, key: Sequence[Hashable]) -> List[Dict[str, Any]]:
+        return self._entries[self._typed(tuple(key))][1]
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, ...]]:
+        return (raw for raw, _ in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GroupedRows({dict(self.items())!r})"
+
+
 def group_rows(rows: Sequence[Mapping[str, Any]],
-               by: Sequence[str]) -> "Dict[Tuple[Hashable, ...], List[Dict[str, Any]]]":
-    """Group rows by the values of the ``by`` columns (insertion-ordered)."""
+               by: Sequence[str]) -> GroupedRows:
+    """Group rows by the values of the ``by`` columns (insertion-ordered).
+
+    The returned mapping is dict-like (same iteration, lookup and
+    ``items()`` behaviour as before) but type-aware: a boolean column
+    value never shares a group with the equal-comparing integer (see
+    :class:`GroupedRows`).
+    """
     if not by:
         raise ValueError("group_rows needs at least one key column")
-    groups: Dict[Tuple[Hashable, ...], List[Dict[str, Any]]] = {}
+    groups = GroupedRows()
     for row in rows:
         key = tuple(row.get(column) for column in by)
-        groups.setdefault(key, []).append(dict(row))
+        groups._append(key, dict(row))
     return groups
 
 

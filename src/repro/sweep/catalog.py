@@ -1,6 +1,6 @@
-"""Catalogue of the registered headline sweeps.
+"""Catalogue of the registered headline sweeps and adaptive searches.
 
-Five design-space explorations over the full-scale packet-level simulator
+Six design-space explorations over the full-scale packet-level simulator
 (``case_study_full``), each capturing one axis of the paper's Section 5/6
 trade-off story:
 
@@ -16,7 +16,15 @@ trade-off story:
 * ``topology_depth`` — the multi-hop axis: grid-placed nodes routed over
   a sink tree at increasing hop-depth caps, measuring how forwarding
   load concentrates on the first-hop relays (the energy hole) as the
-  tree deepens.
+  tree deepens;
+* ``case_study_power_grid`` — the exhaustive BO/SO grid that doubles as
+  the reference baseline of the catalogue's *optimizer* entries.
+
+The catalogue also registers adaptive searches
+(:class:`repro.sweep.optimize.OptimizeSpec`, run with
+``python -m repro sweep optimize <name>``): ``case_study_power`` searches
+the BO/SO space of ``case_study_power_grid`` with half the evaluation
+budget and must find a knee point that matches or dominates the grid's.
 
 Every sweep has a *quick* variant (``get_sweep(name, quick=True)``) that
 shrinks the population, channel count and horizon so CI can smoke the whole
@@ -32,6 +40,8 @@ import difflib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Tuple
 
+from repro.sweep.optimize import (ChoiceDimension, IntDimension,
+                                  OptimizeSpec)
 from repro.sweep.spec import GridAxis, SweepSpec
 
 #: Objectives of the paper's trade-off story, shared by every headline
@@ -141,6 +151,25 @@ def _traffic_mix(quick: bool) -> SweepSpec:
               "model across offered-load scales at full scale")
 
 
+def _case_study_power_grid(quick: bool) -> SweepSpec:
+    """The exhaustive BO x SO grid the ``case_study_power`` optimizer is
+    benchmarked against: same dimensions, same base parameters, double the
+    evaluation budget (every combination)."""
+    if quick:
+        axes = {"beacon_order": GridAxis((3, 4, 5, 6)),
+                "superframe_order": GridAxis((None, 2, 3))}
+        base = {"total_nodes": 32, "num_channels": 2, "superframes": 4}
+    else:
+        axes = {"beacon_order": GridAxis((3, 4, 5, 6, 7, 8)),
+                "superframe_order": GridAxis((None, 2, 3))}
+        base = {}
+    return SweepSpec(
+        name="case_study_power_grid", experiment="case_study_full",
+        axes=axes, base_params=base, objectives=TRADEOFF_OBJECTIVES,
+        title="Exhaustive BO/SO reference grid of the case_study_power "
+              "optimizer (power/delay/reliability trade-off)")
+
+
 def _topology_depth(quick: bool) -> SweepSpec:
     if quick:
         # CI smoke: one grid channel, 32 nodes (the 12 m lattice puts 8 in
@@ -180,8 +209,106 @@ _DEFINITIONS: Dict[str, SweepDefinition] = {
                         "multi-hop sink-tree depth sweep over the grid "
                         "topology",
                         _topology_depth),
+        SweepDefinition("case_study_power_grid",
+                        "exhaustive BO/SO reference grid of the "
+                        "case_study_power optimizer",
+                        _case_study_power_grid),
     )
 }
+
+
+class UnknownOptimizeError(KeyError):
+    """Raised when an optimizer name is not in the catalogue."""
+
+    def __init__(self, name: str, known: Tuple[str, ...]):
+        self.name = name
+        self.known = known
+        suggestions = difflib.get_close_matches(name, known, n=3)
+        message = f"Unknown optimizer {name!r}. Registered optimizers: " \
+                  f"{', '.join(known) or '(none)'}."
+        if suggestions:
+            message += f" Did you mean: {', '.join(suggestions)}?"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class OptimizeDefinition:
+    """One named adaptive-search entry of the catalogue."""
+
+    name: str
+    title: str
+    builder: Callable[[bool], OptimizeSpec]
+    reference_sweep: str
+
+    def build(self, quick: bool = False) -> OptimizeSpec:
+        """The concrete spec (full-scale, or the quick CI variant)."""
+        return self.builder(quick)
+
+
+def _case_study_power(quick: bool) -> OptimizeSpec:
+    """Adaptive BO/SO search of the case study's power/delay trade-off.
+
+    Searches the same design space as the ``case_study_power_grid``
+    reference sweep with *half* the evaluation budget; the acceptance
+    bar (pinned in the tests) is that the optimizer's knee point matches
+    or dominates the exhaustive grid's knee.  ``superframe_order``
+    choices stay at or below the smallest beacon order — the superframe
+    structure rejects SO > BO.
+    """
+    if quick:
+        dimensions = {"beacon_order": IntDimension(3, 6),
+                      "superframe_order": ChoiceDimension((None, 2, 3))}
+        base = {"total_nodes": 32, "num_channels": 2, "superframes": 4}
+        budget = {"max_points": 6, "initial_points": 4, "batch_size": 2}
+    else:
+        dimensions = {"beacon_order": IntDimension(3, 8),
+                      "superframe_order": ChoiceDimension((None, 2, 3))}
+        base = {}
+        budget = {"max_points": 9, "initial_points": 5, "batch_size": 2}
+    return OptimizeSpec(
+        name="case_study_power", experiment="case_study_full",
+        dimensions=dimensions, objectives=TRADEOFF_OBJECTIVES,
+        base_params=base, patience=2, **budget,
+        title="Adaptive BO/SO search of the power/delay/reliability "
+              "trade-off at half the reference grid's budget")
+
+
+_OPTIMIZE_DEFINITIONS: Dict[str, OptimizeDefinition] = {
+    definition.name: definition for definition in (
+        OptimizeDefinition("case_study_power",
+                           "adaptive BO/SO power-trade-off search "
+                           "(half the reference grid's budget)",
+                           _case_study_power,
+                           reference_sweep="case_study_power_grid"),
+    )
+}
+
+
+def optimize_names() -> Tuple[str, ...]:
+    """All registered optimizer names, sorted."""
+    return tuple(sorted(_OPTIMIZE_DEFINITIONS))
+
+
+def iter_optimize_definitions() -> Iterator[OptimizeDefinition]:
+    """The optimizer catalogue entries, in name order."""
+    for name in optimize_names():
+        yield _OPTIMIZE_DEFINITIONS[name]
+
+
+def get_optimize_definition(name: str) -> OptimizeDefinition:
+    """The optimizer entry for ``name`` (with close-match suggestions)."""
+    try:
+        return _OPTIMIZE_DEFINITIONS[name]
+    except KeyError:
+        raise UnknownOptimizeError(name, optimize_names()) from None
+
+
+def get_optimize(name: str, quick: bool = False) -> OptimizeSpec:
+    """Build the named optimizer's spec (quick CI variant on request)."""
+    return get_optimize_definition(name).build(quick)
 
 
 def sweep_names() -> Tuple[str, ...]:

@@ -8,6 +8,7 @@ Wired into ``python -m repro`` by :mod:`repro.runner.cli`::
     python -m repro sweep run node_density --param superframes=10
     python -m repro sweep status node_density --quick # cache occupancy
     python -m repro sweep export tx_policy --quick --out out/
+    python -m repro sweep optimize case_study_power --quick --export out/
 
 ``run`` prints the wide result table, the Pareto front over the sweep's
 objectives and the knee point; ``--export`` (or the ``export`` command)
@@ -15,6 +16,10 @@ writes the CSV/JSON tables plus the reproducibility manifest via
 :mod:`repro.sweep.artifacts`.  ``status`` computes every point's engine
 cache key and reports which points are already done — an interrupted sweep
 shows partial occupancy and ``run`` will only compute the rest.
+``optimize`` runs a registered adaptive search
+(:mod:`repro.sweep.optimize`) with the same resume/export discipline: a
+warm re-run replays the identical proposal sequence from the cache and
+recomputes nothing.
 
 Output discipline matches :mod:`repro.runner.cli`: result tables and the
 summary/``spec_hash`` lines stay on stdout; auxiliary status ("wrote ...")
@@ -31,10 +36,13 @@ import logging
 from repro.runner.params import parse_param
 from repro.runner.params import parse_param_arg as _parse_param
 from repro.sweep.analysis import knee_point, pareto_front
-from repro.sweep.artifacts import export_sweep
-from repro.sweep.catalog import (UnknownSweepError, get_sweep,
-                                 iter_definitions)
+from repro.sweep.artifacts import export_optimize, export_sweep
+from repro.sweep.catalog import (UnknownOptimizeError, UnknownSweepError,
+                                 get_optimize, get_sweep,
+                                 iter_definitions,
+                                 iter_optimize_definitions)
 from repro.sweep.driver import run_sweep, sweep_status
+from repro.sweep.optimize import run_optimize
 from repro.sweep.spec import SweepSpec
 
 logger = logging.getLogger(__name__)
@@ -97,6 +105,36 @@ def add_sweep_parser(commands) -> None:
     export_parser.add_argument("--out", required=True, metavar="DIR",
                                help="output directory of the artifacts")
 
+    optimize_parser = actions.add_parser(
+        "optimize", help="adaptive design-space search (batches resume "
+                         "from the cache)")
+    optimize_parser.add_argument("optimizer",
+                                 help="registered optimizer name "
+                                      "(see 'sweep list')")
+    optimize_parser.add_argument("--quick", action="store_true",
+                                 help="scaled-down CI variant of the search")
+    optimize_parser.add_argument("--cache-dir", default=None,
+                                 help="result cache directory (default "
+                                      "REPRO_CACHE_DIR or "
+                                      "~/.cache/repro-bougard)")
+    optimize_parser.add_argument("--param", action="append",
+                                 type=_parse_param, default=[],
+                                 metavar="KEY=VALUE",
+                                 help="override one base parameter "
+                                      "(repeatable; searched dimensions "
+                                      "cannot be overridden)")
+    optimize_parser.add_argument("--jobs", "-j", type=int, default=1,
+                                 help="worker processes per proposal batch")
+    optimize_parser.add_argument("--no-cache", action="store_true",
+                                 help="neither read nor write the result "
+                                      "cache (disables resume)")
+    optimize_parser.add_argument("--export", metavar="DIR", default=None,
+                                 help="write CSV/JSON/manifest artifacts "
+                                      "to DIR")
+    optimize_parser.add_argument("--quiet", "-q", action="store_true",
+                                 help="suppress the tables, print the "
+                                      "summary lines only")
+
 
 def _resolve_spec(arguments: argparse.Namespace) -> SweepSpec:
     spec = get_sweep(arguments.sweep, quick=arguments.quick)
@@ -106,13 +144,14 @@ def _resolve_spec(arguments: argparse.Namespace) -> SweepSpec:
     return spec
 
 
-def _print_front(result) -> None:
+def _print_front(result, names=None) -> None:
     objectives = dict(result.spec.objectives)
     if not objectives:
         return
+    names = names if names is not None else result.spec.axis_names()
     front = pareto_front(result.rows, objectives)
     knee = knee_point(front, objectives)
-    columns = ["point"] + result.spec.axis_names() + list(objectives)
+    columns = ["point"] + list(names) + list(objectives)
     from repro.analysis.tables import format_table
     senses = ", ".join(f"{metric} ({sense})"
                        for metric, sense in objectives.items())
@@ -121,8 +160,7 @@ def _print_front(result) -> None:
     print(format_table(columns, rows,
                        title=f"Pareto front over {senses}"))
     if knee is not None:
-        axes = ", ".join(f"{name}={knee.get(name)}"
-                         for name in result.spec.axis_names())
+        axes = ", ".join(f"{name}={knee.get(name)}" for name in names)
         print(f"knee point: point {knee.get('point')} ({axes})")
 
 
@@ -183,6 +221,30 @@ def _command_export(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_optimize(arguments: argparse.Namespace) -> int:
+    spec = get_optimize(arguments.optimizer, quick=arguments.quick)
+    overrides = dict(getattr(arguments, "param", []) or [])
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    result = run_optimize(spec, jobs=arguments.jobs,
+                          cache=not arguments.no_cache,
+                          cache_root=arguments.cache_dir)
+    if not arguments.quiet:
+        print(result.to_table())
+        print()
+        _print_front(result, names=spec.dimension_names())
+    print(f"optimize {spec.name}: {len(result.points)} points in "
+          f"{len(result.rounds)} rounds "
+          f"({result.computed_points} computed, {result.cached_points} from "
+          f"cache) stop={result.stop_reason} in {result.elapsed_s:.3f}s "
+          f"seed={spec.seed} spec_hash={spec.spec_hash()}")
+    if arguments.export:
+        paths = export_optimize(result, arguments.export)
+        for kind in ("csv", "json", "manifest"):
+            logger.info(f"  wrote {kind:9s} {paths[kind]}")
+    return 0
+
+
 def _command_list(arguments: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     rows = []
@@ -196,6 +258,21 @@ def _command_list(arguments: argparse.Namespace) -> int:
     print(format_table(
         ["name", "experiment", "axes", "points", "quick", "title"],
         rows, title="Registered sweeps"))
+    optimizer_rows = []
+    for definition in iter_optimize_definitions():
+        spec = definition.build(quick=False)
+        quick = definition.build(quick=True)
+        optimizer_rows.append([definition.name, spec.experiment,
+                               " x ".join(spec.dimension_names()),
+                               spec.max_points, quick.max_points,
+                               definition.reference_sweep,
+                               definition.title])
+    if optimizer_rows:
+        print()
+        print(format_table(
+            ["name", "experiment", "dimensions", "budget", "quick",
+             "reference", "title"],
+            optimizer_rows, title="Registered optimizers"))
     if arguments.verbose:
         for definition in iter_definitions():
             spec = definition.build(quick=False)
@@ -214,10 +291,11 @@ def command_sweep(arguments: argparse.Namespace) -> int:
     handler = {"list": _command_list,
                "run": _command_run,
                "status": _command_status,
-               "export": _command_export}[arguments.sweep_command]
+               "export": _command_export,
+               "optimize": _command_optimize}[arguments.sweep_command]
     try:
         return handler(arguments)
-    except UnknownSweepError as error:
+    except (UnknownSweepError, UnknownOptimizeError) as error:
         logger.error(f"error: {error}")
         return 2
     except KeyError as error:

@@ -24,7 +24,8 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.obs.parallel import TracedExecutor
 from repro.obs.tracer import activate, current_tracer
@@ -112,6 +113,40 @@ class SweepStatus:
         return len(self.done) - self.done_count
 
 
+def build_points(experiment: str,
+                 value_sets: Sequence[Mapping[str, Any]],
+                 base_params: Optional[Mapping[str, Any]] = None,
+                 seed: Optional[int] = None,
+                 cache: Any = True,
+                 cache_root: Optional[str] = None,
+                 registry: Optional[ExperimentRegistry] = None,
+                 start_index: int = 0) -> List[SweepPoint]:
+    """Turn explicit per-point value mappings into cache-keyed points.
+
+    The general form of :func:`expand_points`: ``value_sets`` is any list
+    of varied-parameter mappings (a cartesian grid, an optimizer's round of
+    proposals, a hand-built list), each merged over ``base_params`` and
+    resolved through the experiment's typed schema, with the engine's
+    content-addressed cache key computed per point.  ``start_index``
+    offsets the point indices so batches proposed across rounds number
+    globally.
+    """
+    registry = registry or default_registry()
+    experiment_spec = registry.get(experiment)
+    cache_obj = resolve_cache(cache, cache_root)
+    base = dict(base_params or {})
+    points: List[SweepPoint] = []
+    for offset, values in enumerate(value_sets):
+        params = {**base, **values}
+        resolved = experiment_spec.resolve_params(params)
+        key = cache_obj.key(experiment_spec.name,
+                            _canonical_params(resolved), seed)
+        points.append(SweepPoint(index=start_index + offset,
+                                 axis_values=dict(values),
+                                 params=params, cache_key=key))
+    return points
+
+
 def expand_points(spec: SweepSpec,
                   cache: Any = True,
                   cache_root: Optional[str] = None,
@@ -130,28 +165,26 @@ def expand_points(spec: SweepSpec,
     else the default catalogue.
     """
     registry = registry or spec.registry or default_registry()
-    experiment = registry.get(spec.experiment)
-    cache_obj = resolve_cache(cache, cache_root)
-    points: List[SweepPoint] = []
-    for index, axis_values in enumerate(spec.expand_axes()):
-        params = {**spec.base_params, **axis_values}
-        resolved = experiment.resolve_params(params)
-        key = cache_obj.key(experiment.name, _canonical_params(resolved),
-                            spec.seed)
-        points.append(SweepPoint(index=index, axis_values=dict(axis_values),
-                                 params=params, cache_key=key))
-    return points
+    return build_points(spec.experiment, spec.expand_axes(),
+                        base_params=spec.base_params, seed=spec.seed,
+                        cache=cache, cache_root=cache_root,
+                        registry=registry)
 
 
 def sweep_status(spec: SweepSpec,
                  cache: Any = True,
                  cache_root: Optional[str] = None,
                  registry: Optional[ExperimentRegistry] = None) -> SweepStatus:
-    """Which points of ``spec`` are already in the result cache."""
+    """Which points of ``spec`` are already in the result cache.
+
+    Occupancy uses :meth:`repro.runner.cache.ResultCache.contains` — one
+    lock-free ``stat`` per point, no JSON parse — so status on a
+    thousand-point sweep never loads a thousand payloads.
+    """
     cache_obj = resolve_cache(cache, cache_root)
     points = expand_points(spec, cache=cache_obj, cache_root=cache_root,
                            registry=registry)
-    done = [cache_obj.load(point.cache_key) is not None for point in points]
+    done = [cache_obj.contains(point.cache_key) for point in points]
     return SweepStatus(spec=spec, points=points, done=done)
 
 
@@ -212,6 +245,87 @@ def _run_point(task: Tuple[str, Dict[str, Any], int, Any, Optional[str],
             "metrics": extract_point_metrics(run.payload)}
 
 
+def _cache_transport(executor, cache: Any,
+                     cache_root: Optional[str]) -> Tuple[Any, Optional[str]]:
+    """Normalise a cache argument for shipping to the executor's workers.
+
+    Serial runs hand any cache object straight through; process workers
+    rebuild theirs from plain-data settings — a cache *object* ships as
+    its backend's ``transport`` token plus the root (``True`` for the
+    plain directory layout, ``"shared"`` for the locking shared-directory
+    backend), so workers hit the same on-disk store with the same
+    concurrency guarantees instead of silently falling back to the
+    default directory.
+    """
+    inner = executor.inner if isinstance(executor, TracedExecutor) \
+        else executor
+    if isinstance(inner, SerialExecutor) or \
+            isinstance(cache, (bool, str, NullCache)) or cache is None:
+        return cache, cache_root
+    backend = getattr(cache, "backend", cache)
+    setting = getattr(backend, "transport", True)
+    root = getattr(cache, "root", None)
+    if root is not None and cache_root is None:
+        cache_root = str(root)
+    return setting, cache_root
+
+
+def dispatch_points(experiment: str,
+                    points: Sequence[SweepPoint],
+                    seed: Optional[int],
+                    *,
+                    cache: Any = True,
+                    cache_root: Optional[str] = None,
+                    registry: Optional[ExperimentRegistry] = None,
+                    executor=None,
+                    tracer: Any = None,
+                    on_point: Optional[Callable[[int, Dict[str, Any]],
+                                                None]] = None,
+                    label: Optional[str] = None,
+                    span_name: Optional[str] = None,
+                    span_attributes: Optional[Mapping[str, Any]] = None
+                    ) -> List[Dict[str, Any]]:
+    """Run a batch of points through the engine, resuming from the cache.
+
+    The shared dispatch path under :func:`run_sweep` and
+    :func:`repro.sweep.optimize.run_optimize`: every point becomes one
+    engine task shipped through ``executor`` (serial by default), its
+    result served from the content-addressed cache when present.  Returns
+    one outcome dict per point, in point order: ``{"cache_hit",
+    "cache_key", "elapsed_s", "metrics"}``.
+
+    ``label`` names the batch in logs, ``span_name``/``span_attributes``
+    the tracer span wrapping it (``sweep.points.cached`` /
+    ``sweep.points.computed`` counters tick either way).
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    tracer = tracer if tracer is not None else current_tracer()
+    if tracer.enabled and not isinstance(executor, TracedExecutor):
+        executor = TracedExecutor(executor, tracer)
+    cache_setting, cache_root = _cache_transport(executor, cache, cache_root)
+    points = list(points)
+    tasks = [(experiment, point.params, seed, cache_setting,
+              None if cache_root is None else str(cache_root), registry)
+             for point in points]
+    label = label or experiment
+
+    def stream(index: int, outcome: Dict[str, Any]) -> None:
+        tracer.count("sweep.points.cached" if outcome["cache_hit"]
+                     else "sweep.points.computed")
+        logger.debug("%s: point %d/%d %s in %.3fs",
+                     label, index + 1, len(points),
+                     "cached" if outcome["cache_hit"] else "computed",
+                     outcome["elapsed_s"])
+        if on_point is not None:
+            on_point(points[index].index, _wide_row(points[index], outcome))
+
+    with activate(tracer), \
+            tracer.span(span_name or f"points:{label}", kind="sweep",
+                        experiment=experiment, points=len(points),
+                        **dict(span_attributes or {})):
+        return run_ordered(executor, _run_point, tasks, on_result=stream)
+
+
 def run_sweep(spec: SweepSpec,
               jobs: int = 1,
               cache: Any = True,
@@ -259,45 +373,13 @@ def run_sweep(spec: SweepSpec,
     points = expand_points(spec, cache=cache, cache_root=cache_root,
                            registry=registry)
     executor = executor if executor is not None else make_executor(jobs)
-    tracer = tracer if tracer is not None else current_tracer()
-    if tracer.enabled and not isinstance(executor, TracedExecutor):
-        executor = TracedExecutor(executor, tracer)
-    inner_executor = executor.inner \
-        if isinstance(executor, TracedExecutor) else executor
-    # Serial runs hand any cache object straight through; process workers
-    # rebuild theirs from plain-data settings — a cache *object* ships as
-    # its backend's ``transport`` token plus the root (``True`` for the
-    # plain directory layout, ``"shared"`` for the locking shared-directory
-    # backend), so workers hit the same on-disk store with the same
-    # concurrency guarantees instead of silently falling back to the
-    # default directory.
-    if isinstance(inner_executor, SerialExecutor) or \
-            isinstance(cache, (bool, str, NullCache)) or cache is None:
-        cache_setting = cache
-    else:
-        backend = getattr(cache, "backend", cache)
-        cache_setting = getattr(backend, "transport", True)
-        root = getattr(cache, "root", None)
-        if root is not None and cache_root is None:
-            cache_root = str(root)
-    tasks = [(spec.experiment, point.params, spec.seed, cache_setting,
-              None if cache_root is None else str(cache_root), registry)
-             for point in points]
-
-    def stream(index: int, outcome: Dict[str, Any]) -> None:
-        tracer.count("sweep.points.cached" if outcome["cache_hit"]
-                     else "sweep.points.computed")
-        logger.debug("sweep %s: point %d/%d %s in %.3fs",
-                     spec.name, index + 1, len(points),
-                     "cached" if outcome["cache_hit"] else "computed",
-                     outcome["elapsed_s"])
-        if on_point is not None:
-            on_point(index, _wide_row(points[index], outcome))
-
-    with activate(tracer), \
-            tracer.span(f"sweep:{spec.name}", kind="sweep", sweep=spec.name,
-                        experiment=spec.experiment, points=len(points)):
-        outcomes = run_ordered(executor, _run_point, tasks, on_result=stream)
+    outcomes = dispatch_points(spec.experiment, points, spec.seed,
+                               cache=cache, cache_root=cache_root,
+                               registry=registry, executor=executor,
+                               tracer=tracer, on_point=on_point,
+                               label=f"sweep {spec.name}",
+                               span_name=f"sweep:{spec.name}",
+                               span_attributes={"sweep": spec.name})
 
     rows = [_wide_row(point, outcome)
             for point, outcome in zip(points, outcomes)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.sweep import ParameterSweep
+from repro.analysis.sweep import ParameterSweep, SweepResult
 from repro.runner.executor import ProcessExecutor, SerialExecutor
 
 
@@ -86,3 +86,19 @@ class TestExecutorStrategies:
             executor=ProcessExecutor(jobs=2),
             on_row=lambda index, row: streamed.update({index: row}))
         assert [streamed[index] for index in range(3)] == result.rows
+
+
+class TestTypeAwareFilter:
+    def test_bool_criteria_never_match_int_values(self):
+        """Satellite contract: filter(flag=True) must not select rows whose
+        value is the integer 1 (bool is an int subclass, so plain ==
+        conflates them)."""
+        result = SweepResult(parameter_names=["flag"], output_names=["v"],
+                             rows=[{"flag": True, "v": 1.0},
+                                   {"flag": 1, "v": 2.0},
+                                   {"flag": False, "v": 3.0},
+                                   {"flag": 0, "v": 4.0}])
+        assert [r["v"] for r in result.filter(flag=True)] == [1.0]
+        assert [r["v"] for r in result.filter(flag=1)] == [2.0]
+        assert [r["v"] for r in result.filter(flag=False)] == [3.0]
+        assert [r["v"] for r in result.filter(flag=0)] == [4.0]

@@ -146,3 +146,41 @@ class TestSessionSweep:
         assert "case_study_full" in message
         assert "payload_bytes" in message
         assert "int in [1, 127]" in message
+
+
+class TestSessionOptimize:
+    def test_optimize_runs_through_the_session_cache(self, tmp_path):
+        session = api.Session(cache_dir=tmp_path)
+        result = session.optimize("case_study_power", quick=True)
+        assert result.computed_points == len(result.points) == 6
+        assert result.knee() is not None
+        again = session.optimize("case_study_power", quick=True)
+        assert again.computed_points == 0  # resumed from the session cache
+        assert again.rows == result.rows
+
+    def test_optimize_accepts_explicit_specs(self, tmp_path):
+        session = api.Session(cache_dir=tmp_path)
+        spec = api.OptimizeSpec(
+            name="mini", experiment="case_study_full",
+            dimensions={"beacon_order": api.IntDimension(3, 5)},
+            objectives={"mean_power_uw": "min"},
+            base_params={"total_nodes": 8, "num_channels": 1,
+                         "superframes": 2},
+            max_points=2, initial_points=2, batch_size=1)
+        result = session.optimize(spec)
+        assert len(result.points) == 2
+
+    def test_quick_flag_requires_a_catalogue_name(self):
+        session = api.Session(cache=False)
+        spec = api.OptimizeSpec(
+            name="mini", experiment="case_study_full",
+            dimensions={"beacon_order": api.IntDimension(3, 5)},
+            objectives={"mean_power_uw": "min"},
+            max_points=2, initial_points=2)
+        with pytest.raises(ValueError, match="quick"):
+            session.optimize(spec, quick=True)
+
+    def test_unknown_optimizer_suggests(self, tmp_path):
+        session = api.Session(cache_dir=tmp_path)
+        with pytest.raises(api.UnknownOptimizeError, match="case_study_power"):
+            session.optimize("case_study_pwr", quick=True)

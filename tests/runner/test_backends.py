@@ -194,3 +194,31 @@ class TestCliStatsBackendFlag:
         out = capsys.readouterr().out
         assert "backend:    shared-directory" in out
         assert "backend counters:" in out
+
+
+class TestExists:
+    @pytest.mark.parametrize("backend_cls", [DirectoryBackend,
+                                             SharedDirectoryBackend])
+    def test_exists_tracks_store_and_delete(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path)
+        assert backend.exists(KEY_A) is False
+        backend.store(KEY_A, {"payload": {"rows": []}})
+        assert backend.exists(KEY_A) is True
+        assert backend.exists(KEY_B) is False
+        backend.delete(KEY_A)
+        assert backend.exists(KEY_A) is False
+
+    def test_exists_never_opens_the_payload(self, tmp_path):
+        """The satellite contract: occupancy checks are a stat, not a
+        parse — a corrupt artifact still *exists* (load() is where
+        corruption is diagnosed)."""
+        backend = DirectoryBackend(tmp_path)
+        path = backend.path_for(KEY_A)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ not json", encoding="utf-8")
+        assert backend.exists(KEY_A) is True
+
+    def test_protocol_declares_exists(self):
+        assert hasattr(CacheBackend, "exists")
+        with pytest.raises(NotImplementedError):
+            CacheBackend.exists(object(), KEY_A)

@@ -142,3 +142,26 @@ class TestNullCache:
 class TestCanonicalJson:
     def test_sorted_and_compact(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestContains:
+    def test_contains_without_parsing_or_accounting(self, cache):
+        key = cache.key("demo", {"x": 1}, seed=0, version="v")
+        assert cache.contains(key) is False
+        cache.store(key, {"rows": []})
+        assert cache.contains(key) is True
+        # Advisory only: the payload stays untouched on disk (no unlink,
+        # no rewrite), unlike load()'s corrupt-artifact handling.
+        assert cache.load(key) == {"rows": []}
+
+    def test_contains_is_a_stat_not_a_load(self, cache):
+        """A corrupt artifact still *exists*; only load() pays the parse
+        (and diagnoses the corruption)."""
+        key = cache.key("demo", {"x": 2}, seed=0, version="v")
+        cache.store(key, {"rows": []})
+        cache.backend.path_for(key).write_text("{ not json",
+                                               encoding="utf-8")
+        assert cache.contains(key) is True
+
+    def test_null_cache_contains_nothing(self):
+        assert NullCache().contains("f" * 64) is False

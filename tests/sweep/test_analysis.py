@@ -144,3 +144,61 @@ class TestGroupingAndAggregation:
         with pytest.raises(ValueError, match="Unknown statistics"):
             aggregate_rows(self.ROWS, by=["bo"], metrics=["p"],
                            statistics=("median",))
+
+
+class TestTypeAwareGrouping:
+    def test_bool_and_int_keys_stay_distinct(self):
+        """Satellite contract: ``True == 1`` and ``hash(True) == hash(1)``,
+        so a plain dict silently merges a boolean axis with an integer
+        one — GroupedRows must keep them apart."""
+        rows = [{"flag": True, "v": 1.0}, {"flag": 1, "v": 2.0},
+                {"flag": False, "v": 3.0}, {"flag": 0, "v": 4.0}]
+        groups = group_rows(rows, by=["flag"])
+        assert len(groups) == 4
+        assert [r["v"] for r in groups[(True,)]] == [1.0]
+        assert [r["v"] for r in groups[(1,)]] == [2.0]
+        assert [r["v"] for r in groups[(False,)]] == [3.0]
+        assert [r["v"] for r in groups[(0,)]] == [4.0]
+
+    def test_iteration_yields_every_raw_key(self):
+        rows = [{"flag": True, "v": 1.0}, {"flag": 1, "v": 2.0}]
+        keys = list(group_rows(rows, by=["flag"]))
+        assert len(keys) == 2
+        assert any(isinstance(key[0], bool) for key in keys)
+        assert any(not isinstance(key[0], bool) for key in keys)
+
+    def test_mapping_protocol_still_holds(self):
+        rows = [{"bo": 3, "v": 1.0}, {"bo": 6, "v": 2.0},
+                {"bo": 3, "v": 3.0}]
+        groups = group_rows(rows, by=["bo"])
+        assert set(groups) == {(3,), (6,)}
+        assert len(groups[(3,)]) == 2
+        assert dict(groups.items())[(6,)] == [{"bo": 6, "v": 2.0}]
+
+    def test_aggregate_rows_keeps_bool_groups_apart(self):
+        rows = [{"flag": True, "v": 10.0}, {"flag": 1, "v": 20.0}]
+        aggregated = aggregate_rows(rows, by=["flag"], metrics=["v"])
+        assert [entry["v_mean"] for entry in aggregated] == [10.0, 20.0]
+
+
+class TestRequireMetrics:
+    def test_known_metrics_pass(self):
+        from repro.sweep.analysis import require_metrics
+        require_metrics(["power"], ["power", "fail"])
+        require_metrics({"fail": "min"}, ["power", "fail"])
+
+    def test_unknown_metric_raises_with_suggestions(self):
+        from repro.sweep.analysis import UnknownMetricError, require_metrics
+        with pytest.raises(UnknownMetricError) as excinfo:
+            require_metrics(["mean_power"], ["mean_power_uw", "fail"],
+                            context="optimize 'x'")
+        message = str(excinfo.value)
+        assert "optimize 'x'" in message
+        assert "mean_power_uw" in message
+        assert "Did you mean" in message
+
+    def test_is_a_key_error_for_the_cli_path(self):
+        from repro.sweep.analysis import UnknownMetricError, require_metrics
+        with pytest.raises(KeyError):
+            require_metrics(["nope"], [])
+        assert issubclass(UnknownMetricError, KeyError)

@@ -102,3 +102,27 @@ class TestManifestAndExport:
                      "mini.manifest.json"):
             assert (cold_dir / name).read_bytes() == \
                 (warm_dir / name).read_bytes(), name
+
+
+class TestExportFailsLoudlyOnUnknownObjective:
+    def test_missing_objective_raises_with_suggestions(self, tmp_path):
+        """Satellite contract: an objective no point produced must not
+        export silent None columns (counted worst-possible by the Pareto
+        helpers) — it fails loudly with a did-you-mean."""
+        from repro.sweep.analysis import UnknownMetricError
+        from repro.sweep.driver import run_sweep
+        from repro.sweep.spec import GridAxis, SweepSpec
+
+        spec = SweepSpec(
+            name="typo", experiment="case_study_full",
+            axes={"total_nodes": GridAxis((8,))},
+            base_params={"num_channels": 1, "superframes": 2},
+            objectives={"mean_power_uW": "min"})  # typo'd capital W
+        result = run_sweep(spec, cache_root=tmp_path)
+        with pytest.raises(UnknownMetricError) as excinfo:
+            export_sweep(result, tmp_path / "out")
+        message = str(excinfo.value)
+        assert "mean_power_uW" in message
+        assert "Did you mean" in message
+        assert "mean_power_uw" in message
+        assert not (tmp_path / "out").exists()

@@ -11,9 +11,9 @@ from repro.sweep.driver import expand_points
 
 class TestCatalogue:
     def test_headline_sweeps_registered(self):
-        assert sweep_names() == ("duty_cycle", "node_density",
-                                 "topology_depth", "traffic_mix",
-                                 "tx_policy")
+        assert sweep_names() == ("case_study_power_grid", "duty_cycle",
+                                 "node_density", "topology_depth",
+                                 "traffic_mix", "tx_policy")
 
     def test_definitions_iterate_in_name_order(self):
         names = [definition.name for definition in iter_definitions()]

@@ -181,3 +181,68 @@ class TestSweepParamOverrides:
                      "--cache-dir", str(tmp_path),
                      "--param", "total_nodes=8"]) == 2
         assert "axis" in capsys.readouterr().err
+
+
+class TestOptimizeCommand:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(
+            ["sweep", "optimize", "case_study_power"])
+        assert arguments.sweep_command == "optimize"
+        assert arguments.optimizer == "case_study_power"
+        assert arguments.jobs == 1
+        assert not arguments.quick
+
+    def test_list_shows_registered_optimizers(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered optimizers" in out
+        assert "case_study_power" in out
+        assert "case_study_power_grid" in out
+
+    def test_optimize_then_rerun_hits_cache(self, tmp_path, capsys):
+        """Acceptance: a warm re-run replays the proposal sequence from
+        the cache and recomputes nothing (the CI smoke greps this line)."""
+        args = ["sweep", "optimize", "case_study_power", "--quick",
+                "--quiet", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "optimize case_study_power:" in first
+        assert "(6 computed, 0 from cache)" in first
+        assert "stop=" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "(0 computed, 6 from cache)" in second
+
+    def test_optimize_prints_front_and_knee(self, tmp_path, capsys):
+        assert main(["sweep", "optimize", "case_study_power", "--quick",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "knee point" in out
+        assert "beacon_order" in out
+
+    def test_optimize_export_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["sweep", "optimize", "case_study_power", "--quick",
+                     "--quiet", "--cache-dir", str(tmp_path / "cache"),
+                     "--export", str(out_dir)]) == 0
+        manifest = json.loads(
+            (out_dir / "case_study_power.manifest.json").read_text())
+        assert manifest["kind"] == "repro-optimize-manifest"
+        assert manifest["num_points"] == 6
+        assert (out_dir / "case_study_power.csv").is_file()
+        assert (out_dir / "case_study_power.json").is_file()
+
+    def test_unknown_optimizer_fails_with_suggestion(self, tmp_path,
+                                                     capsys):
+        assert main(["sweep", "optimize", "case_study_pwr",
+                     "--cache-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "Unknown optimizer" in err
+        assert "case_study_power" in err
+
+    def test_param_cannot_override_a_dimension(self, tmp_path, capsys):
+        assert main(["sweep", "optimize", "case_study_power", "--quick",
+                     "--cache-dir", str(tmp_path),
+                     "--param", "beacon_order=5"]) == 2
+        assert "dimension" in capsys.readouterr().err

@@ -193,3 +193,29 @@ class TestExtractPointMetrics:
         payload = {"rows": [{"x": 1.5, "label": "a", "nested": {"n": 1}}]}
         metrics = extract_point_metrics(payload)
         assert metrics == {"num_rows": 1, "x": 1.5, "label": "a"}
+
+
+class TestSweepStatusNeverLoads:
+    def test_status_stats_instead_of_parsing(self, tmp_path, monkeypatch):
+        """Satellite contract: status on N points performs N lock-free
+        existence checks — it must never parse a payload (a 1000-point
+        sweep's status would otherwise load 1000 JSON artifacts)."""
+        run_sweep(TINY, cache_root=tmp_path)
+
+        def forbidden_load(self, key):
+            raise AssertionError("sweep_status must not load payloads")
+
+        monkeypatch.setattr(ResultCache, "load", forbidden_load)
+        status = sweep_status(TINY, cache_root=tmp_path)
+        assert status.done_count == 4
+
+    def test_status_sees_corrupt_artifacts_as_present(self, tmp_path):
+        """contains() is a stat: a corrupt (but present) artifact counts
+        as done for occupancy; run_sweep's load path is what detects and
+        recomputes it."""
+        first = run_sweep(TINY, cache_root=tmp_path)
+        cache = ResultCache(root=tmp_path)
+        cache.backend.path_for(first.points[0].cache_key).write_text(
+            "{ not json", encoding="utf-8")
+        status = sweep_status(TINY, cache_root=tmp_path)
+        assert status.done_count == 4

@@ -1,0 +1,338 @@
+"""Tests of the adaptive design-space optimizer.
+
+Covers the determinism contract (same seed => same proposal sequence,
+warm re-run recomputes nothing, smaller budgets evaluate a prefix of
+larger ones — the latter two as hypothesis properties), the loud failure
+on unknown objectives, the stop reasons, and the ISSUE's acceptance
+scenario: the quick catalogue optimizer must find a knee point matching
+or dominating the exhaustive reference grid's at half the budget.
+"""
+
+import json
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.params import ParamSpec
+from repro.runner.registry import ExperimentRegistry, ExperimentSpec
+from repro.sweep.analysis import (UnknownMetricError, knee_point,
+                                  pareto_front)
+from repro.sweep.artifacts import export_optimize
+from repro.sweep.catalog import (get_optimize, get_optimize_definition,
+                                 get_sweep)
+from repro.sweep.driver import run_sweep
+from repro.sweep.optimize import (ChoiceDimension, FloatDimension,
+                                  IntDimension, OptimizeSpec,
+                                  dimension_from_payload,
+                                  optimize_spec_from_payload, run_optimize)
+
+
+def _bowl_runner(params, context):
+    """Deterministic synthetic landscape: a quadratic bowl over (x, y).
+
+    Millisecond-fast, so the property tests can run dozens of full
+    optimizer trajectories.
+    """
+    x, y = params["x"], params["y"]
+    offset = 0.5 if params["mode"] == "b" else 0.0
+    return {"rows": [],
+            "cost": float((x - 3) ** 2 + (y - offset) ** 2),
+            "spread": float(abs(x - 4) + y)}
+
+
+def _bowl_registry() -> ExperimentRegistry:
+    registry = ExperimentRegistry()
+    registry.register(ExperimentSpec(
+        "bowl", "synthetic quadratic bowl", "", _bowl_runner,
+        params=[ParamSpec("x", "int", 0, minimum=0, maximum=10),
+                ParamSpec("y", "float", 0.0, minimum=0.0, maximum=1.0),
+                ParamSpec("mode", "str", "a", choices=("a", "b"))]))
+    return registry
+
+
+def _bowl_spec(registry=None, **overrides) -> OptimizeSpec:
+    settings_ = dict(name="bowl_search", experiment="bowl",
+                     dimensions={"x": IntDimension(0, 10),
+                                 "y": FloatDimension(0.0, 1.0),
+                                 "mode": ChoiceDimension(("a", "b"))},
+                     objectives={"cost": "min", "spread": "min"},
+                     seed=7, max_points=12, initial_points=5, batch_size=3,
+                     patience=2, registry=registry or _bowl_registry())
+    settings_.update(overrides)
+    return OptimizeSpec(**settings_)
+
+
+class TestDimensions:
+    def test_int_samples_and_perturbs_within_bounds(self):
+        dim = IntDimension(3, 6)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert 3 <= dim.sample(rng) <= 6
+            assert 3 <= dim.perturb(5, rng, radius=0.5) <= 6
+        assert dim.to_unit(3) == 0.0 and dim.to_unit(6) == 1.0
+
+    def test_float_log_spacing_stays_in_bounds(self):
+        dim = FloatDimension(1e-3, 1.0, spacing="log")
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert 1e-3 <= dim.sample(rng) <= 1.0
+            assert 1e-3 <= dim.perturb(0.1, rng, radius=0.5) <= 1.0
+        assert dim.to_unit(1e-3) == pytest.approx(0.0)
+        assert dim.to_unit(1.0) == pytest.approx(1.0)
+
+    def test_choice_handles_none_values(self):
+        dim = ChoiceDimension((None, 2, 3))
+        rng = np.random.default_rng(2)
+        assert dim.sample(rng) in (None, 2, 3)
+        assert dim.perturb(None, rng, radius=0.3) in (None, 2, 3)
+        assert dim.to_unit(None) == 0.0 and dim.to_unit(3) == 1.0
+
+    def test_payload_round_trips(self):
+        for dim in (IntDimension(3, 6),
+                    FloatDimension(0.5, 2.0, spacing="log"),
+                    ChoiceDimension((None, "a", 1))):
+            assert dimension_from_payload(dim.to_payload()) == dim
+
+    @pytest.mark.parametrize("build", [
+        lambda: IntDimension(6, 3),
+        lambda: FloatDimension(2.0, 1.0),
+        lambda: FloatDimension(-1.0, 1.0, spacing="log"),
+        lambda: FloatDimension(0.0, 1.0, spacing="weird"),
+        lambda: ChoiceDimension(()),
+    ])
+    def test_invalid_dimensions_rejected(self, build):
+        with pytest.raises(ValueError):
+            build()
+
+
+class TestOptimizeSpec:
+    def test_payload_and_hash_round_trip(self):
+        spec = get_optimize("case_study_power", quick=True)
+        rebuilt = optimize_spec_from_payload(spec.to_payload())
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_quick_and_full_variants_differ(self):
+        quick = get_optimize("case_study_power", quick=True)
+        full = get_optimize("case_study_power")
+        assert quick.spec_hash() != full.spec_hash()
+        assert quick.max_points < full.max_points
+
+    def test_out_of_domain_bound_fails_at_build_time(self):
+        with pytest.raises(ValueError, match="beacon_order"):
+            OptimizeSpec(name="bad", experiment="case_study_full",
+                         dimensions={"beacon_order": IntDimension(0, 99)},
+                         objectives={"mean_power_uw": "min"})
+
+    def test_unknown_dimension_parameter_fails_at_build_time(self):
+        with pytest.raises(KeyError, match="warp_factor"):
+            OptimizeSpec(name="bad", experiment="case_study_full",
+                         dimensions={"warp_factor": IntDimension(1, 2)},
+                         objectives={"mean_power_uw": "min"})
+
+    def test_objectives_are_required(self):
+        with pytest.raises(ValueError, match="objective"):
+            OptimizeSpec(name="bad", experiment="case_study_full",
+                         dimensions={"beacon_order": IntDimension(3, 6)},
+                         objectives={})
+
+    def test_dimension_base_param_overlap_rejected(self):
+        with pytest.raises(ValueError, match="beacon_order"):
+            OptimizeSpec(name="bad", experiment="case_study_full",
+                         dimensions={"beacon_order": IntDimension(3, 6)},
+                         objectives={"mean_power_uw": "min"},
+                         base_params={"beacon_order": 4})
+
+    def test_with_overrides_rejects_searched_dimensions(self):
+        spec = get_optimize("case_study_power", quick=True)
+        with pytest.raises(ValueError, match="beacon_order"):
+            spec.with_overrides({"beacon_order": 5})
+        derived = spec.with_overrides({"superframes": 6})
+        assert derived.base_params["superframes"] == 6
+        assert derived.spec_hash() != spec.spec_hash()
+
+    @pytest.mark.parametrize("overrides", [
+        {"max_points": 0}, {"initial_points": 0}, {"batch_size": 0},
+        {"patience": 0}, {"max_rounds": 0},
+    ])
+    def test_budget_knobs_validated(self, overrides):
+        with pytest.raises(ValueError):
+            _bowl_spec(**overrides)
+
+
+class TestRunOptimizeSynthetic:
+    def test_same_spec_reproposes_identical_sequence(self):
+        first = run_optimize(_bowl_spec(), cache=False)
+        second = run_optimize(_bowl_spec(), cache=False)
+        assert [r.proposals for r in first.rounds] == \
+            [r.proposals for r in second.rounds]
+        assert first.rows == second.rows
+        assert first.stop_reason == second.stop_reason
+
+    def test_different_seeds_explore_differently(self):
+        base = run_optimize(_bowl_spec(), cache=False)
+        other = run_optimize(_bowl_spec(seed=8), cache=False)
+        assert [r.proposals for r in base.rounds] != \
+            [r.proposals for r in other.rounds]
+
+    def test_respects_the_budget_and_numbers_points_globally(self):
+        result = run_optimize(_bowl_spec(), cache=False)
+        assert len(result.points) <= 12
+        assert [point.index for point in result.points] == \
+            list(range(len(result.points)))
+        evaluated = [dict(point.axis_values) for point in result.points]
+        assert len({json.dumps(v, sort_keys=True, default=str)
+                    for v in evaluated}) == len(evaluated)
+
+    def test_unknown_objective_fails_loudly_after_round_zero(self):
+        spec = _bowl_spec(objectives={"cst": "min"})
+        with pytest.raises(UnknownMetricError) as excinfo:
+            run_optimize(spec, cache=False)
+        message = str(excinfo.value)
+        assert "cst" in message and "cost" in message
+
+    def test_space_exhausted_on_a_tiny_discrete_space(self):
+        registry = _bowl_registry()
+        spec = OptimizeSpec(name="tiny", experiment="bowl",
+                            dimensions={"x": IntDimension(0, 1)},
+                            objectives={"cost": "min"}, seed=3,
+                            max_points=10, initial_points=4, batch_size=2,
+                            registry=registry)
+        result = run_optimize(spec, cache=False)
+        assert result.stop_reason == "space_exhausted"
+        assert len(result.points) == 2
+
+    def test_converges_when_the_front_stabilises(self):
+        """On a discrete space with a unique optimum, the front freezes
+        once the optimum is found and patience ends the run well before
+        the budget (which exceeds the whole 22-point space)."""
+        registry = _bowl_registry()
+        spec = OptimizeSpec(name="discrete", experiment="bowl",
+                            dimensions={"x": IntDimension(0, 10),
+                                        "mode": ChoiceDimension(("a", "b"))},
+                            objectives={"cost": "min"}, seed=7,
+                            max_points=60, initial_points=6, batch_size=3,
+                            patience=2, registry=registry)
+        result = run_optimize(spec, cache=False)
+        assert result.stop_reason in ("converged", "space_exhausted")
+        if result.stop_reason == "converged":
+            final = frozenset(row["point"] for row in result.front())
+            stale = [frozenset(r.front_points) for r in result.rounds]
+            assert stale[-1] == stale[-2] == stale[-3] == final
+
+    def test_max_rounds_caps_the_trajectory(self):
+        result = run_optimize(_bowl_spec(max_points=60, max_rounds=2),
+                              cache=False)
+        assert result.stop_reason in ("max_rounds", "converged")
+        assert len(result.rounds) <= 2
+
+    def test_front_and_knee_use_the_spec_objectives(self):
+        result = run_optimize(_bowl_spec(), cache=False)
+        front = result.front()
+        assert front == pareto_front(result.rows,
+                                     dict(result.spec.objectives))
+        assert result.knee() == knee_point(front,
+                                           dict(result.spec.objectives))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_same_seed_same_proposals(self, seed):
+        first = run_optimize(_bowl_spec(seed=seed), cache=False)
+        second = run_optimize(_bowl_spec(seed=seed), cache=False)
+        assert [r.proposals for r in first.rounds] == \
+            [r.proposals for r in second.rounds]
+
+    @settings(max_examples=10, deadline=None)
+    @given(small=st.integers(min_value=1, max_value=8),
+           extra=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_budget_monotonicity(self, small, extra, seed):
+        """A smaller budget evaluates a *prefix* of a larger budget's
+        sequence: proposals are generated budget-independently and only
+        truncated at the tail."""
+        short = run_optimize(_bowl_spec(seed=seed, max_points=small),
+                             cache=False)
+        long = run_optimize(_bowl_spec(seed=seed, max_points=small + extra),
+                            cache=False)
+        short_values = [point.axis_values for point in short.points]
+        long_values = [point.axis_values for point in long.points]
+        assert short_values == long_values[:len(short_values)]
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_warm_rerun_recomputes_nothing(self, seed):
+        with tempfile.TemporaryDirectory() as root:
+            registry = _bowl_registry()
+            cold = run_optimize(_bowl_spec(seed=seed, registry=registry),
+                                cache_root=root)
+            warm = run_optimize(_bowl_spec(seed=seed, registry=registry),
+                                cache_root=root)
+            assert cold.computed_points == len(cold.points)
+            assert warm.computed_points == 0
+            assert warm.cached_points == len(cold.points)
+            assert warm.rows == cold.rows
+            assert [r.proposals for r in warm.rounds] == \
+                [r.proposals for r in cold.rounds]
+
+
+class TestQuickCaseStudyAcceptance:
+    """The ISSUE's acceptance scenario, end to end on the real simulator."""
+
+    def test_optimizer_knee_matches_or_dominates_the_grid_knee(self,
+                                                               tmp_path):
+        definition = get_optimize_definition("case_study_power")
+        spec = definition.build(quick=True)
+        grid = get_sweep(definition.reference_sweep, quick=True)
+        assert spec.max_points * 2 <= grid.num_points()
+
+        result = run_optimize(spec, cache_root=tmp_path)
+        grid_result = run_sweep(grid, cache_root=tmp_path)
+        objectives = dict(spec.objectives)
+        grid_knee = knee_point(pareto_front(grid_result.rows, objectives),
+                               objectives)
+        optimizer_knee = result.knee()
+        assert optimizer_knee is not None and grid_knee is not None
+        same = all(optimizer_knee[metric] == grid_knee[metric]
+                   for metric in objectives)
+        from repro.sweep.analysis import dominates
+        assert same or dominates(optimizer_knee, grid_knee, objectives)
+
+    def test_warm_rerun_exports_byte_identical_artifacts(self, tmp_path):
+        spec = get_optimize("case_study_power", quick=True)
+        cold = run_optimize(spec, cache_root=tmp_path / "cache")
+        warm = run_optimize(spec, cache_root=tmp_path / "cache")
+        assert warm.computed_points == 0
+        cold_paths = export_optimize(cold, tmp_path / "cold")
+        warm_paths = export_optimize(warm, tmp_path / "warm")
+        for kind in ("csv", "json", "manifest"):
+            assert cold_paths[kind].read_bytes() == \
+                warm_paths[kind].read_bytes()
+
+    def test_serial_and_parallel_runs_export_identically(self, tmp_path):
+        spec = get_optimize("case_study_power", quick=True)
+        serial = run_optimize(spec, jobs=1, cache_root=tmp_path / "a")
+        parallel = run_optimize(spec, jobs=2, cache_root=tmp_path / "b")
+        assert serial.rows == parallel.rows
+        serial_paths = export_optimize(serial, tmp_path / "sa")
+        parallel_paths = export_optimize(parallel, tmp_path / "pa")
+        for kind in ("csv", "json", "manifest"):
+            assert serial_paths[kind].read_bytes() == \
+                parallel_paths[kind].read_bytes()
+
+    def test_manifest_records_rounds_and_stop_reason(self, tmp_path):
+        spec = get_optimize("case_study_power", quick=True)
+        result = run_optimize(spec, cache_root=tmp_path)
+        paths = export_optimize(result, tmp_path / "out")
+        manifest = json.loads(paths["manifest"].read_text())
+        assert manifest["kind"] == "repro-optimize-manifest"
+        assert manifest["spec_hash"] == spec.spec_hash()
+        assert manifest["stop_reason"] == result.stop_reason
+        assert len(manifest["rounds"]) == len(result.rounds)
+        for entry, round_ in zip(manifest["rounds"], result.rounds):
+            assert entry["proposals"] == round_.proposals
+            assert entry["point_indices"] == round_.point_indices
+            assert entry["front_points"] == round_.front_points
+        assert "elapsed_s" not in json.dumps(manifest)
